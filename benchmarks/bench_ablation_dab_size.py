@@ -1,0 +1,41 @@
+"""Design-choice ablation: deadlock-avoidance buffer capacity.
+
+The paper argues a tiny buffer suffices ("a simple RAM structure", used
+only when the ROB-oldest instruction is denied an IQ entry). This bench
+sweeps the buffer size to confirm capacity beyond one entry buys nothing
+measurable — the DESIGN.md rationale for defaulting to a single entry.
+"""
+
+from benchmarks._common import INSNS, MIXES, SEED, once, write_result
+from repro.config.presets import paper_machine
+from repro.experiments.report import format_table
+from repro.experiments.runner import simulate_mix
+from repro.metrics.aggregate import harmonic_mean
+from repro.workloads.mixes import FOUR_THREAD_MIXES
+
+
+def test_ablation_dab_size(benchmark):
+    sizes = (1, 2, 4, 8)
+
+    def run():
+        out = {}
+        for size in sizes:
+            cfg = paper_machine(
+                iq_size=32, scheduler="2op_ooo", deadlock_buffer_size=size
+            )
+            ipcs = [
+                simulate_mix(m.benchmarks, cfg, INSNS, SEED).throughput_ipc
+                for m in FOUR_THREAD_MIXES[:MIXES]
+            ]
+            out[size] = harmonic_mean(ipcs)
+        return out
+
+    out = once(benchmark, run)
+    write_result("ablation_dab_size", format_table(
+        ["dab_entries", "hmean_ipc"], sorted(out.items())
+    ))
+    # Larger buffers change nothing measurable (paper: one entry is
+    # sufficient to prevent deadlocks with minimal performance impact).
+    base = out[1]
+    for size in sizes[1:]:
+        assert abs(out[size] - base) / base < 0.03

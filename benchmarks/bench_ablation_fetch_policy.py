@@ -1,0 +1,34 @@
+"""Baseline-design ablation: I-Count vs round-robin vs STALL fetch.
+
+The paper's baseline uses the I-Count policy [16]; its related work
+discusses STALL [15], which gates a thread's fetch while it has an
+outstanding memory-level miss. This bench quantifies those choices on
+the reproduction's workloads.
+"""
+
+from benchmarks._common import INSNS, MIXES, SEED, once, write_result
+from repro.config.presets import paper_machine
+from repro.experiments.report import format_table
+from repro.experiments.runner import simulate_mix
+from repro.metrics.aggregate import harmonic_mean
+from repro.workloads.mixes import FOUR_THREAD_MIXES
+
+
+def test_ablation_fetch_policy(benchmark):
+    def run():
+        out = {}
+        for policy in ("icount", "round_robin", "stall"):
+            cfg = paper_machine(iq_size=64, fetch_policy=policy)
+            ipcs = [
+                simulate_mix(m.benchmarks, cfg, INSNS, SEED).throughput_ipc
+                for m in FOUR_THREAD_MIXES[:MIXES]
+            ]
+            out[policy] = harmonic_mean(ipcs)
+        return out
+
+    out = once(benchmark, run)
+    write_result("ablation_fetch_policy", format_table(
+        ["fetch_policy", "hmean_ipc"], sorted(out.items())
+    ))
+    # I-Count must not lose to blind round-robin on mixed workloads.
+    assert out["icount"] >= 0.97 * out["round_robin"]

@@ -1,0 +1,29 @@
+"""Figure 1: 2OP_BLOCK IPC speedup over the same-capacity traditional IQ.
+
+Paper shape: positive for 4-threaded workloads at small IQs, negative at
+96/128 entries; negative for 2-threaded workloads at *every* size (by as
+much as -19% at 64 entries); 3-threaded workloads in between.
+"""
+
+from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from repro.experiments.figures import figure1
+from repro.experiments.report import render_figure
+
+
+def test_figure1(benchmark):
+    result = once(benchmark, lambda: figure1(
+        max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+    ))
+    write_result("figure1", render_figure(result))
+
+    two = result.series["2 threads"]
+    four = result.series["4 threads"]
+    # 2-threaded: 2OP_BLOCK loses at every size (paper: all below 1).
+    assert all(v < 1.0 for v in two)
+    # The loss deepens (or stays) as the queue grows.
+    assert two[-1] <= two[0] + 0.02
+    # 4-threaded: clearly better at the smallest queue than at the
+    # largest (paper: crossover between 64 and 96 entries).
+    assert four[0] > four[-1]
+    # Thread-count ordering at the smallest IQ: more TLP helps 2OP_BLOCK.
+    assert four[0] > two[0]

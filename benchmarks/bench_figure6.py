@@ -1,0 +1,23 @@
+"""Figure 6: fairness-metric improvement for 3-threaded workloads.
+
+Paper shape: same trends as the 3-thread throughput figure — +17% over
+plain 2OP_BLOCK and +6% over traditional at 64 entries.
+"""
+
+from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_figure, render_same_size_ratios
+
+
+def test_figure6(benchmark):
+    result = once(benchmark, lambda: figure6(
+        max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+    ))
+    text = "\n\n".join([
+        render_figure(result),
+        render_same_size_ratios(result, "2op_ooo", "2op_block"),
+    ])
+    write_result("figure6", text)
+
+    ooo_vs_block = result.speedup_over("2op_ooo", "2op_block")
+    assert ooo_vs_block[-1] > 1.0

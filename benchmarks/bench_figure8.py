@@ -1,0 +1,24 @@
+"""Figure 8: fairness-metric improvement for 4-threaded workloads.
+
+Paper shape: +11.6% over plain 2OP_BLOCK and +13% over the traditional
+scheduler at 64 entries, with the same scaling trends as Figure 7.
+"""
+
+from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from repro.experiments.figures import figure8
+from repro.experiments.report import render_figure, render_same_size_ratios
+
+
+def test_figure8(benchmark):
+    result = once(benchmark, lambda: figure8(
+        max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+    ))
+    text = "\n\n".join([
+        render_figure(result),
+        render_same_size_ratios(result, "2op_ooo", "2op_block"),
+    ])
+    write_result("figure8", text)
+
+    ooo_vs_block = result.speedup_over("2op_ooo", "2op_block")
+    # OOO dispatch does not sacrifice fairness at larger queues.
+    assert ooo_vs_block[-1] > 0.97

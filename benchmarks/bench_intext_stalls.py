@@ -1,0 +1,49 @@
+"""§3 in-text statistic: cycles with all threads 2OP-blocked at dispatch.
+
+Paper (64-entry IQ, 2OP_BLOCK): 43% of cycles for 2-threaded workloads,
+17% for 3-threaded, 7% for 4-threaded — the motivation for out-of-order
+dispatch. §5 adds that OOO dispatch collapses the 2-thread figure from
+43% to 0.2%.
+"""
+
+from benchmarks._common import INSNS, MIXES, SEED, once, write_result
+from repro.experiments.intext import dispatch_stall_stats
+from repro.experiments.report import render_dict
+
+
+def test_intext_dispatch_stalls(benchmark):
+    def run():
+        block = dispatch_stall_stats(
+            iq_size=64, max_insns=INSNS, seed=SEED, max_mixes=MIXES,
+            scheduler="2op_block",
+        )
+        ooo = dispatch_stall_stats(
+            iq_size=64, max_insns=INSNS, seed=SEED, max_mixes=MIXES,
+            scheduler="2op_ooo",
+        )
+        return block, ooo
+
+    block, ooo = once(benchmark, run)
+    write_result("intext_stalls", "\n\n".join([
+        render_dict(
+            "all-threads-2OP-blocked fraction, 2OP_BLOCK @ 64 entries "
+            "(paper: 0.43 / 0.17 / 0.07)",
+            {f"{k} threads": v for k, v in block.items()},
+        ),
+        render_dict(
+            "same statistic with out-of-order dispatch "
+            "(paper 2T: 0.43 -> 0.002)",
+            {f"{k} threads": v for k, v in ooo.items()},
+        ),
+    ]))
+
+    # Fewer threads -> more all-blocked cycles (the paper's ordering).
+    assert block[2] > block[3] >= block[4] * 0.8
+    # The 2-thread number is substantial (paper 43%).
+    assert block[2] > 0.2
+    # OOO dispatch slashes it. (At 4 threads the shared L2 correlates
+    # the low-ILP threads' miss episodes in this model, leaving a larger
+    # residue of simultaneous blocking than the paper's 0.2%.)
+    for threads in (2, 3):
+        assert ooo[threads] < 0.5 * block[threads]
+    assert ooo[4] < 0.8 * block[4]

@@ -1,0 +1,40 @@
+"""§5 conclusion: scaling with thread count *and* IQ size.
+
+"The performance of 2OP_BLOCK with out-of-order dispatch scales much
+better with both the number of threads and the IQ size compared to
+either the traditional design or 2OP_BLOCK alone."
+"""
+
+from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from repro.experiments.report import format_table
+from repro.experiments.scaling import run_scaling
+
+
+def test_scaling(benchmark):
+    result = once(benchmark, lambda: run_scaling(
+        thread_counts=(2, 3, 4), iq_sizes=IQ_SIZES, max_insns=INSNS,
+        seed=SEED, max_mixes=MIXES,
+    ))
+    rows = result.rows()
+    slope_rows = [
+        (s, t, f"{result.iq_scaling(s, t):.3f}")
+        for s in ("traditional", "2op_block", "2op_ooo")
+        for t in (2, 3, 4)
+    ]
+    write_result("scaling", "\n\n".join([
+        format_table(["scheduler", "threads", "iq_size", "hmean_ipc"], rows),
+        "IQ-size scaling (IPC at largest / smallest swept size):\n"
+        + format_table(["scheduler", "threads", "slope"], slope_rows),
+    ]))
+
+    # The paper's scaling claim, per thread count: plain 2OP_BLOCK's
+    # IQ-size slope is the worst of the three designs (it cannot exploit
+    # bigger queues), and OOO dispatch restores slope to at least the
+    # 2OP_BLOCK level at every thread count.
+    for threads in (2, 3, 4):
+        slopes = {
+            s: result.iq_scaling(s, threads)
+            for s in ("traditional", "2op_block", "2op_ooo")
+        }
+        assert slopes["2op_ooo"] >= slopes["2op_block"] - 0.01
+        assert slopes["traditional"] >= slopes["2op_block"] - 0.01

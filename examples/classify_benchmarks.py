@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §2 benchmark classification (Tables 2-4 input).
+
+Simulates each SPEC CPU2000 model alone on the Table 1 machine and
+classifies it as low / medium / high ILP by single-thread IPC — the
+classes from which the paper's multithreaded mixes are composed.
+
+Run:  python examples/classify_benchmarks.py [--insns N]
+"""
+
+import argparse
+
+from repro.experiments.report import format_table
+from repro.trace.classify import classify_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--insns", type=int, default=12_000,
+                        help="instructions per benchmark (default 12000)")
+    args = parser.parse_args()
+
+    results = classify_all(max_insns=args.insns)
+    rows = [
+        (c.name, f"{c.ipc:.3f}", c.ilp_class,
+         "" if c.matches_target else f"(profile target: {c.target_class})")
+        for c in sorted(results, key=lambda c: c.ipc)
+    ]
+    print(format_table(["benchmark", "ipc", "class", "note"], rows))
+
+    by_class: dict[str, list[str]] = {"low": [], "med": [], "high": []}
+    for c in results:
+        by_class[c.ilp_class].append(c.name)
+    print("\nclass rosters (compare with the paper's Tables 2-4 labels):")
+    for cls in ("low", "med", "high"):
+        print(f"  {cls:>4}: {', '.join(sorted(by_class[cls]))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Extending the library: define a custom synthetic workload.
+
+Builds a pointer-chasing "database-like" profile that is not part of
+SPEC 2000, generates its trace, and measures how much each scheduler
+design suffers or benefits when it shares the core with a compute-bound
+thread — the general experiment the paper's machinery enables beyond its
+own benchmark suite.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import paper_machine
+from repro.experiments.runner import TRACE_SLACK, default_warmup
+from repro.isa.opcodes import OpClass
+from repro.metrics.ipc import SimResult
+from repro.pipeline.smt_core import SMTProcessor
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import BenchmarkProfile
+
+#: A hash-join-style kernel: heavy pointer chasing over a working set
+#: far beyond L2, short dependence strands, hard-to-predict branches.
+DB_PROBE = BenchmarkProfile(
+    name="db-probe",
+    suite="int",
+    ilp_class="low",
+    mix={
+        OpClass.IALU: 0.42,
+        OpClass.IMUL: 0.01,
+        OpClass.IDIV: 0.002,
+        OpClass.LOAD: 0.32,
+        OpClass.STORE: 0.078,
+        OpClass.BRANCH: 0.17,
+    },
+    frac_two_src=0.5,
+    dep_mean=2.2,
+    footprint_kb=64 * 1024,
+    seq_frac=0.15,
+    pointer_chase=0.4,
+    branch_predictability=0.88,
+    code_kb=16,
+    hot_frac=0.9,
+    strands=2,
+)
+
+MAX_INSNS = 8_000
+
+
+def run_pair(partner_trace, scheduler: str) -> SimResult:
+    cfg = paper_machine(iq_size=64, scheduler=scheduler)
+    warmup = default_warmup(MAX_INSNS)
+    db_trace = generate_trace(DB_PROBE, warmup + MAX_INSNS + TRACE_SLACK,
+                              seed=7)
+    core = SMTProcessor(cfg, [db_trace, partner_trace], warmup=warmup)
+    stats = core.run(MAX_INSNS)
+    return SimResult.from_stats(("db-probe", "gzip"), scheduler, 64, stats)
+
+
+def main() -> None:
+    warmup = default_warmup(MAX_INSNS)
+    partner = generate_trace("gzip", warmup + MAX_INSNS + TRACE_SLACK, seed=7)
+
+    print("Custom pointer-chasing workload sharing an SMT core with gzip\n")
+    print(f"{'scheduler':>12} {'IPC':>7} {'db-probe':>9} {'gzip':>7} "
+          f"{'all-2OP-blocked':>16}")
+    for scheduler in ("traditional", "2op_block", "2op_ooo"):
+        result = run_pair(partner, scheduler)
+        db, gz = result.per_thread_ipc
+        print(f"{scheduler:>12} {result.throughput_ipc:7.3f} {db:9.3f} "
+              f"{gz:7.3f} {result.extra('all_blocked_2op_fraction'):15.1%}")
+
+    print(
+        "\nThe chasing thread blocks dispatch frequently under plain\n"
+        "2OP_BLOCK, throttling gzip with it; out-of-order dispatch lets\n"
+        "gzip's (and the prober's own independent) work keep flowing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one SMT mix under the paper's three schedulers.
+
+Also walks the paper's Figure 2 terminology (DI / NDI / HDI) on a small
+hand-written code fragment, using the real issue-queue readiness logic.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import paper_machine, simulate_mix
+from repro.core.iq import IssueQueue
+from repro.isa.opcodes import OpClass
+from repro.pipeline.dynamic import DynInstr
+
+
+def figure2_walkthrough() -> None:
+    """The paper's Figure 2: classifying instructions at dispatch.
+
+    Consider (registers already renamed; R1 and R2 are not ready —
+    say both are being loaded from memory):
+
+        I1: R3 <- R1 + R2     two non-ready sources  -> NDI
+        I2: R4 <- R3 + 1      one non-ready source   -> DI (hidden: HDI)
+        I3: R5 <- R6 + R7     all sources ready      -> DI (hidden: HDI)
+
+    With in-order dispatch (plain 2OP_BLOCK) I1 blocks the thread, hiding
+    I2 and I3 from the scheduler; out-of-order dispatch sends them into
+    the issue queue past I1.
+    """
+    ready = bytearray(16)
+    for reg in (6, 7):  # R6, R7 have produced their values
+        ready[reg] = 1
+    iq = IssueQueue(capacity=8, comparators_per_entry=1, ready_bits=ready)
+
+    def make(seq, src1, src2, dest):
+        di = DynInstr(tid=0, seq=seq, tseq=seq, op=int(OpClass.IALU), pc=0,
+                      addr=0, taken=False, target=0, dest_l=-1, src1_l=-1,
+                      src2_l=-1, fetch_cycle=0)
+        di.src1_p, di.src2_p, di.dest_p = src1, src2, dest
+        return di
+
+    i1 = make(1, src1=1, src2=2, dest=3)   # R3 <- R1 + R2
+    i2 = make(2, src1=3, src2=-1, dest=4)  # R4 <- R3 + 1
+    i3 = make(3, src1=6, src2=7, dest=5)   # R5 <- R6 + R7
+
+    print("Figure 2 walkthrough (2OP scheduler, 1 comparator/entry):")
+    for name, instr in (("I1", i1), ("I2", i2), ("I3", i3)):
+        pending = iq.nonready_sources(instr)
+        kind = "NDI (blocks in-order dispatch)" if len(pending) >= 2 else \
+            "DI — hidden behind the NDI, an HDI"
+        shown = ", ".join(f"R{p}" for p in pending) or "none"
+        print(f"  {name}: non-ready sources {shown:<8} -> {kind}")
+    print()
+
+
+def main() -> None:
+    figure2_walkthrough()
+
+    benchmarks = ["parser", "vortex"]  # 1 LOW + 1 HIGH ILP (Table 3 mix 7)
+    print(f"Simulating {benchmarks[0]} + {benchmarks[1]} on the paper's "
+          "machine (64-entry IQ), 10k instructions/thread:\n")
+    print(f"{'scheduler':>12} {'IPC':>7} {'parser':>8} {'vortex':>8} "
+          f"{'all-2OP-blocked':>16}")
+    for scheduler in ("traditional", "2op_block", "2op_ooo"):
+        cfg = paper_machine(iq_size=64, scheduler=scheduler)
+        result = simulate_mix(benchmarks, cfg, max_insns=10_000)
+        p, v = result.per_thread_ipc
+        print(f"{scheduler:>12} {result.throughput_ipc:7.3f} {p:8.3f} "
+              f"{v:8.3f} {result.extra('all_blocked_2op_fraction'):15.1%}")
+    print(
+        "\nExpected shape (paper §5): 2op_block loses throughput versus\n"
+        "the traditional scheduler on 2-threaded workloads; adding\n"
+        "out-of-order dispatch (2op_ooo) recovers it while keeping the\n"
+        "cheaper single-comparator issue queue."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Scheduler scaling study: a miniature Figure 3/5/7 on one workload.
+
+Sweeps the issue-queue size for all three scheduler designs on a mix of
+your choice and prints the speedup table plus the same-size ratios the
+paper quotes.
+
+Run:  python examples/scheduler_comparison.py [bench1 bench2 ...]
+"""
+
+import sys
+
+from repro import paper_machine, simulate_mix
+
+IQ_SIZES = (32, 48, 64, 96)
+SCHEDULERS = ("traditional", "2op_block", "2op_ooo")
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or ["equake", "gcc"]  # Table 3 mix 10
+    print(f"IQ-size sweep for {' + '.join(benchmarks)} "
+          f"({len(benchmarks)} threads), 8k instructions/thread\n")
+
+    ipc: dict[tuple[str, int], float] = {}
+    for scheduler in SCHEDULERS:
+        for iq_size in IQ_SIZES:
+            cfg = paper_machine(iq_size=iq_size, scheduler=scheduler)
+            result = simulate_mix(benchmarks, cfg, max_insns=8_000)
+            ipc[(scheduler, iq_size)] = result.throughput_ipc
+
+    header = "iq_size " + "".join(f"{s:>14}" for s in SCHEDULERS)
+    print(header)
+    print("-" * len(header))
+    for iq_size in IQ_SIZES:
+        row = f"{iq_size:>7} "
+        row += "".join(f"{ipc[(s, iq_size)]:>14.3f}" for s in SCHEDULERS)
+        print(row)
+
+    print("\nsame-size ratios (the numbers the paper quotes in prose):")
+    for iq_size in IQ_SIZES:
+        trad = ipc[("traditional", iq_size)]
+        block = ipc[("2op_block", iq_size)]
+        ooo = ipc[("2op_ooo", iq_size)]
+        print(f"  @{iq_size:>3}: 2op_block vs traditional "
+              f"{block / trad - 1:+7.1%}   2op_ooo vs 2op_block "
+              f"{ooo / block - 1:+7.1%}   2op_ooo vs traditional "
+              f"{ooo / trad - 1:+7.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e .`` work on environments without the
+``wheel`` package (offline, legacy editable install path). All metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

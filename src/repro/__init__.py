@@ -1,0 +1,44 @@
+"""repro — reproduction of Sharkey & Ponomarev, *Balancing ILP and TLP in SMT
+Architectures through Out-of-Order Instruction Dispatch* (ICPP 2006).
+
+The package implements, from scratch:
+
+* a cycle-level trace-driven SMT pipeline simulator in the style of M-Sim
+  (:mod:`repro.pipeline`), including an I-Count front end
+  (:mod:`repro.frontend`), register renaming (:mod:`repro.rename`),
+  a gshare/BTB branch predictor (:mod:`repro.branch`) and a full cache
+  hierarchy (:mod:`repro.memory`);
+* the paper's three instruction schedulers — the traditional 2-comparator
+  issue queue, the 2OP_BLOCK reduced-comparator scheduler, and 2OP_BLOCK
+  augmented with out-of-order dispatch (:mod:`repro.core`);
+* synthetic SPEC CPU2000 workload models (:mod:`repro.trace`,
+  :mod:`repro.workloads`) standing in for the Alpha binaries the paper
+  simulates (see DESIGN.md for the substitution argument);
+* experiment drivers that regenerate every figure and in-text statistic of
+  the paper's evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import simulate_mix, paper_machine
+
+    cfg = paper_machine(iq_size=64, scheduler="2op_ooo")
+    result = simulate_mix(["parser", "vortex"], cfg, max_insns=20_000)
+    print(result.throughput_ipc)
+"""
+
+from repro.config.machine import MachineConfig
+from repro.config.presets import paper_machine, small_machine
+from repro.experiments.runner import simulate_benchmark, simulate_mix
+from repro.metrics.ipc import SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "paper_machine",
+    "small_machine",
+    "simulate_mix",
+    "simulate_benchmark",
+    "SimResult",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Branch prediction substrate: per-thread gshare + shared BTB."""
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GShare
+from repro.branch.predictor import BranchPrediction, ThreadPredictor
+
+__all__ = ["GShare", "BranchTargetBuffer", "ThreadPredictor", "BranchPrediction"]

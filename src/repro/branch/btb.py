@@ -1,0 +1,67 @@
+"""Branch target buffer: set-associative tag/target store with LRU."""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """A classic BTB (paper: 2048 entries, 2-way set-associative).
+
+    ``lookup`` returns the stored target for a PC, or ``None`` on a miss;
+    a taken branch that misses the BTB cannot be redirected at fetch even
+    if the direction predictor says taken, which the front end charges as
+    a misprediction-like bubble.
+    """
+
+    __slots__ = ("_sets", "_num_sets", "_set_bits", "_assoc", "lookups", "hits")
+
+    def __init__(self, entries: int = 2048, assoc: int = 2) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if assoc <= 0 or entries % assoc:
+            raise ValueError(f"assoc {assoc} must divide entries {entries}")
+        self._num_sets = entries // assoc
+        self._set_bits = self._num_sets.bit_length() - 1
+        self._assoc = assoc
+        # Each set is an LRU-ordered list of (tag, target); index 0 = MRU.
+        self._sets: list[list[tuple[int, int]]] = [
+            [] for _ in range(self._num_sets)
+        ]
+        self.lookups = 0
+        self.hits = 0
+
+    @property
+    def assoc(self) -> int:
+        """Ways per set."""
+        return self._assoc
+
+    def _locate(self, pc: int) -> tuple[list[tuple[int, int]], int]:
+        word = pc >> 2
+        return self._sets[word & (self._num_sets - 1)], word >> self._set_bits
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the predicted target for ``pc`` or ``None`` on miss."""
+        self.lookups += 1
+        ways, tag = self._locate(pc)
+        for i, (t, target) in enumerate(ways):
+            if t == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                self.hits += 1
+                return target
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Install/refresh the target of the (taken) branch at ``pc``."""
+        ways, tag = self._locate(pc)
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                break
+        ways.insert(0, (tag, target))
+        if len(ways) > self._assoc:
+            ways.pop()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,73 @@
+"""gshare direction predictor (McFarling-style).
+
+A table of 2-bit saturating counters indexed by PC XOR global history.
+The paper's configuration is a per-thread 2K-entry table with 10 bits of
+global history (Table 1).
+"""
+
+from __future__ import annotations
+
+
+class GShare:
+    """2-bit saturating-counter gshare predictor.
+
+    The global history register is updated *speculatively* at predict
+    time with the predicted direction and repaired with the architectural
+    outcome at update time (trace-driven simulation resolves every branch,
+    so the repair is exact).
+
+    :meth:`predict` returns ``(taken, token)``; the opaque token must be
+    passed back to :meth:`update` so the trained entry is the one the
+    prediction actually read, even with many branches in flight.
+    """
+
+    __slots__ = ("_table", "_mask", "_history", "_history_mask", "lookups", "hits")
+
+    def __init__(self, entries: int = 2048, history_bits: int = 10) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if not 1 <= history_bits <= 30:
+            raise ValueError(f"history_bits out of range: {history_bits}")
+        self._table = bytearray([2] * entries)  # init weakly taken
+        self._mask = entries - 1
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self.lookups = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> tuple[bool, int]:
+        """Predict the branch at ``pc``; returns ``(taken, token)``."""
+        idx = ((pc >> 2) ^ self._history) & self._mask
+        taken = self._table[idx] >= 2
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        self.lookups += 1
+        return taken, idx
+
+    def update(self, token: int, taken: bool, predicted: bool) -> None:
+        """Train the entry named by ``token`` and repair history.
+
+        ``predicted`` must be the direction returned by the matching
+        :meth:`predict` call.
+        """
+        ctr = self._table[token]
+        if taken:
+            if ctr < 3:
+                self._table[token] = ctr + 1
+        elif ctr > 0:
+            self._table[token] = ctr - 1
+        if taken == predicted:
+            self.hits += 1
+        else:
+            # The youngest speculative history bit is wrong; overwrite it.
+            # (Older in-flight speculative bits, if any, were already shifted
+            # further up and are repaired by their own updates.)
+            self._history = (
+                (self._history & ~1) | int(taken)
+            ) & self._history_mask
+
+    # ------------------------------------------------------------------
+    @property
+    def accuracy(self) -> float:
+        """Fraction of predictions that matched the outcome so far."""
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,21 @@
+"""Machine configuration objects and paper presets."""
+
+from repro.config.machine import (
+    BranchPredictorConfig,
+    CacheConfig,
+    MachineConfig,
+    MemoryConfig,
+    SCHEDULER_KINDS,
+)
+from repro.config.presets import paper_machine, small_machine, tiny_machine
+
+__all__ = [
+    "MachineConfig",
+    "CacheConfig",
+    "MemoryConfig",
+    "BranchPredictorConfig",
+    "SCHEDULER_KINDS",
+    "paper_machine",
+    "small_machine",
+    "tiny_machine",
+]

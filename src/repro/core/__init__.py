@@ -1,0 +1,32 @@
+"""The paper's contribution: issue-queue and dispatch-policy designs.
+
+* :class:`~repro.core.iq.IssueQueue` — wakeup/select scheduler with a
+  per-entry tag-comparator budget (2 for the traditional design, 1 for
+  the 2OP_* designs).
+* :mod:`repro.core.dispatch` — in-order dispatch (traditional machine).
+* :mod:`repro.core.two_op_block` — the 2OP_BLOCK policy of [13]
+  (Sharkey & Ponomarev, HPCA 2006).
+* :mod:`repro.core.ooo_dispatch` — 2OP_BLOCK augmented with out-of-order
+  dispatch of hidden dispatchable instructions (this paper's proposal),
+  plus the idealized NDI-dependence-filtering ablation.
+* :mod:`repro.core.deadlock` — deadlock-avoidance buffer and watchdog
+  timer (§4).
+"""
+
+from repro.core.deadlock import DeadlockAvoidanceBuffer, WatchdogTimer
+from repro.core.dispatch import DispatchPolicy, InOrderDispatch
+from repro.core.iq import IssueQueue
+from repro.core.ooo_dispatch import OutOfOrderDispatch
+from repro.core.scheduler import make_dispatch_policy
+from repro.core.two_op_block import TwoOpBlockDispatch
+
+__all__ = [
+    "IssueQueue",
+    "DispatchPolicy",
+    "InOrderDispatch",
+    "TwoOpBlockDispatch",
+    "OutOfOrderDispatch",
+    "DeadlockAvoidanceBuffer",
+    "WatchdogTimer",
+    "make_dispatch_policy",
+]

@@ -1,0 +1,78 @@
+"""Deadlock handling for out-of-order dispatch (§4 of the paper).
+
+With in-order dispatch the oldest instruction of a thread always makes
+progress, so the pipeline cannot deadlock. Out-of-order dispatch breaks
+that guarantee: younger dependents may fill the IQ while their producer
+is still stuck at dispatch. The paper offers two remedies:
+
+* **Deadlock-avoidance buffer** (used for the evaluation): when the
+  ROB-oldest instruction of a thread cannot get an IQ entry, it is placed
+  in a tiny RAM buffer instead. Being ROB-oldest, all its sources are
+  ready by definition, so the buffer needs no wakeup CAM; its
+  instructions take precedence at select time.
+* **Watchdog timer**: a countdown reset on every dispatch; on expiry the
+  pipeline is flushed and every thread restarts from its ROB head.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.dynamic import DynInstr
+
+
+class DeadlockAvoidanceBuffer:
+    """Small RAM buffer holding ROB-oldest instructions denied an IQ slot."""
+
+    __slots__ = ("size", "entries", "inserts")
+
+    def __init__(self, size: int = 1) -> None:
+        if size <= 0:
+            raise ValueError(f"buffer size must be positive, got {size}")
+        self.size = size
+        self.entries: list[DynInstr] = []
+        self.inserts = 0
+
+    @property
+    def has_space(self) -> bool:
+        """Whether another instruction can be accepted this cycle."""
+        return len(self.entries) < self.size
+
+    def insert(self, instr: DynInstr, cycle: int) -> None:
+        """Accept the ROB-oldest instruction ``instr``."""
+        if not self.has_space:
+            raise RuntimeError("deadlock-avoidance buffer overflow")
+        instr.in_dab = True
+        instr.dispatch_cycle = cycle
+        self.entries.append(instr)
+        self.inserts += 1
+
+    def clear(self) -> None:
+        """Drop all entries (watchdog flush)."""
+        for instr in self.entries:
+            instr.in_dab = False
+        self.entries.clear()
+
+
+class WatchdogTimer:
+    """Dispatch-inactivity countdown triggering a recovery flush."""
+
+    __slots__ = ("timeout", "remaining", "expiries")
+
+    def __init__(self, timeout: int) -> None:
+        if timeout <= 0:
+            raise ValueError(f"watchdog timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self.remaining = timeout
+        self.expiries = 0
+
+    def note_dispatch(self) -> None:
+        """Reset the countdown — an instruction dispatched this cycle."""
+        self.remaining = self.timeout
+
+    def tick(self) -> bool:
+        """Advance one dispatch-free cycle; True when the timer expires."""
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.expiries += 1
+            self.remaining = self.timeout
+            return True
+        return False

@@ -1,0 +1,59 @@
+"""Dispatch policy interface and the traditional in-order policy.
+
+A dispatch policy decides, each cycle and for each thread, which renamed
+instructions move from the thread's dispatch buffer into the shared issue
+queue. Policies see the core through a narrow surface: the issue queue
+(for free slots and readiness queries), the thread's dispatch buffer, and
+the statistics block.
+"""
+
+from __future__ import annotations
+
+
+class DispatchPolicy:
+    """Base class for dispatch policies.
+
+    Attributes:
+        needs_reduced_iq: True when the policy requires (and exploits) an
+            issue queue with a single tag comparator per entry.
+        supports_ooo: True when the policy may dispatch instructions out
+            of program order within a thread (enables deadlock handling).
+    """
+
+    needs_reduced_iq = False
+    supports_ooo = False
+
+    def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:
+        """Dispatch up to ``budget`` instructions from thread ``ts``.
+
+        Returns the number of instructions moved into the IQ. Must set
+        ``ts.blocked_2op`` when the thread cannot dispatch *because of*
+        the policy's operand-readiness restriction (used for the paper's
+        all-threads-stalled statistic).
+        """
+        raise NotImplementedError
+
+    def scan_blocked(self, core, ts) -> bool:
+        """Whether ``ts`` is currently blocked purely by policy rules
+        (i.e. it has buffered instructions, none of which the policy
+        would admit even with unlimited IQ space and width)."""
+        return False
+
+
+class InOrderDispatch(DispatchPolicy):
+    """Traditional scheduler: program-order dispatch, 2 comparators/entry.
+
+    An instruction may enter the IQ with any number of non-ready sources;
+    dispatch only stops on IQ-full, width exhaustion, or an empty buffer.
+    """
+
+    def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:
+        iq = core.iq
+        buf = ts.dispatch_buffer
+        n = 0
+        while buf and n < budget and iq.occupancy < iq.capacity:
+            instr = buf[0]
+            del buf[0]
+            iq.insert(instr, cycle)
+            n += 1
+        return n

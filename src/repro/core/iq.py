@@ -1,0 +1,141 @@
+"""Issue queue: wakeup/select with a per-entry comparator budget.
+
+Entries watch at most ``comparators_per_entry`` distinct non-ready source
+tags. The traditional design has 2 comparators per entry; the 2OP_*
+designs have 1 (their dispatch policies guarantee no instruction needs
+more). The queue enforces the budget with an assertion so a buggy policy
+fails loudly instead of silently modelling impossible hardware.
+
+Wakeup is index based (producer tag → list of waiting instructions)
+instead of scanning every entry each cycle — the behavioural result is
+identical to a CAM broadcast, and it keeps the Python inner loop off the
+profile (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.pipeline.dynamic import DynInstr
+
+
+class IssueQueue:
+    """Shared SMT issue queue holding instructions until they issue."""
+
+    __slots__ = (
+        "capacity",
+        "comparators_per_entry",
+        "_ready_bits",
+        "occupancy",
+        "ready_heap",
+        "waiting",
+        "occupancy_integral",
+    )
+
+    def __init__(self, capacity: int, comparators_per_entry: int,
+                 ready_bits: bytearray) -> None:
+        if capacity <= 0:
+            raise ValueError(f"IQ capacity must be positive, got {capacity}")
+        if comparators_per_entry not in (1, 2):
+            raise ValueError(
+                f"comparators_per_entry must be 1 or 2, got "
+                f"{comparators_per_entry}"
+            )
+        self.capacity = capacity
+        self.comparators_per_entry = comparators_per_entry
+        self._ready_bits = ready_bits
+        self.occupancy = 0
+        #: min-heap of (global seq, instr) over ready, unissued entries.
+        self.ready_heap: list[tuple[int, DynInstr]] = []
+        #: producer physical register -> instructions waiting on it.
+        self.waiting: dict[int, list[DynInstr]] = {}
+        #: sum of occupancy over cycles (average occupancy statistic).
+        self.occupancy_integral = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_slots(self) -> int:
+        """Entries currently available for dispatch."""
+        return self.capacity - self.occupancy
+
+    def nonready_sources(self, instr: DynInstr) -> list[int]:
+        """Distinct non-ready source tags of ``instr`` right now.
+
+        Two identical non-ready sources need a single comparator, hence
+        count once (the paper's "two non-ready source operands" means two
+        distinct outstanding tags).
+        """
+        bits = self._ready_bits
+        s1, s2 = instr.src1_p, instr.src2_p
+        out: list[int] = []
+        if s1 >= 0 and not bits[s1]:
+            out.append(s1)
+        if s2 >= 0 and s2 != s1 and not bits[s2]:
+            out.append(s2)
+        return out
+
+    # ------------------------------------------------------------------
+    def insert(self, instr: DynInstr, cycle: int) -> None:
+        """Dispatch ``instr`` into the queue.
+
+        The caller must have verified :attr:`free_slots` and — for
+        reduced-comparator queues — that the instruction is dispatchable.
+        """
+        if self.occupancy >= self.capacity:
+            raise RuntimeError("issue queue overflow (dispatch policy bug)")
+        pending = self.nonready_sources(instr)
+        if len(pending) > self.comparators_per_entry:
+            raise RuntimeError(
+                f"instruction needs {len(pending)} comparators but entries "
+                f"have {self.comparators_per_entry} (dispatch policy bug)"
+            )
+        instr.in_iq = True
+        instr.dispatch_cycle = cycle
+        instr.num_waiting = len(pending)
+        for tag in pending:
+            waiters = self.waiting.get(tag)
+            if waiters is None:
+                self.waiting[tag] = [instr]
+            else:
+                waiters.append(instr)
+        if not pending:
+            heappush(self.ready_heap, (instr.seq, instr))
+        self.occupancy += 1
+
+    def wakeup(self, tag: int) -> None:
+        """Broadcast the completion of physical register ``tag``."""
+        waiters = self.waiting.pop(tag, None)
+        if not waiters:
+            return
+        heap = self.ready_heap
+        for instr in waiters:
+            instr.num_waiting -= 1
+            if instr.num_waiting == 0 and instr.in_iq:
+                heappush(heap, (instr.seq, instr))
+
+    def remove_on_issue(self, instr: DynInstr) -> None:
+        """Free the entry of an instruction selected for issue."""
+        instr.in_iq = False
+        self.occupancy -= 1
+
+    def tick(self) -> None:
+        """Accumulate per-cycle occupancy statistics."""
+        self.occupancy_integral += self.occupancy
+
+    # ------------------------------------------------------------------
+    def drain_ready(self) -> list[DynInstr]:
+        """Pop every currently-ready entry, oldest first (tests only)."""
+        out = []
+        while self.ready_heap:
+            _, instr = heappop(self.ready_heap)
+            if instr.in_iq:
+                out.append(instr)
+        for instr in out:
+            heappush(self.ready_heap, (instr.seq, instr))
+        return out
+
+    def reset(self) -> None:
+        """Empty the queue (watchdog pipeline flush)."""
+        self.ready_heap.clear()
+        self.waiting.clear()
+        self.occupancy = 0

@@ -1,0 +1,21 @@
+"""Factory mapping configuration names to scheduler components."""
+
+from __future__ import annotations
+
+from repro.config.machine import MachineConfig
+from repro.core.dispatch import DispatchPolicy, InOrderDispatch
+from repro.core.ooo_dispatch import OutOfOrderDispatch
+from repro.core.two_op_block import TwoOpBlockDispatch
+
+
+def make_dispatch_policy(cfg: MachineConfig) -> DispatchPolicy:
+    """Instantiate the dispatch policy selected by ``cfg.scheduler``."""
+    if cfg.scheduler == "traditional":
+        return InOrderDispatch()
+    if cfg.scheduler == "2op_block":
+        return TwoOpBlockDispatch()
+    if cfg.scheduler == "2op_ooo":
+        return OutOfOrderDispatch(filtered=False)
+    if cfg.scheduler == "2op_ooo_filtered":
+        return OutOfOrderDispatch(filtered=True)
+    raise ValueError(f"unknown scheduler kind {cfg.scheduler!r}")

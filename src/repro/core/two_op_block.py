@@ -1,0 +1,41 @@
+"""The 2OP_BLOCK dispatch policy (prior work the paper builds on).
+
+An instruction reaching dispatch with **two distinct non-ready source
+tags** is non-dispatchable (NDI): it and every younger instruction of the
+same thread wait in the front end. The ready bits of the blocked
+instruction are re-examined every cycle ("such checks ... are routinely
+performed in the baseline machine"); the thread resumes as soon as one
+source becomes ready. The payoff is an issue queue with one comparator
+per entry; the cost is the ILP throttling this paper quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.dispatch import DispatchPolicy
+
+
+class TwoOpBlockDispatch(DispatchPolicy):
+    """In-order dispatch that refuses instructions with 2 non-ready sources."""
+
+    needs_reduced_iq = True
+
+    def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:
+        iq = core.iq
+        buf = ts.dispatch_buffer
+        n = 0
+        while buf and n < budget and iq.occupancy < iq.capacity:
+            instr = buf[0]
+            if len(iq.nonready_sources(instr)) >= 2:
+                instr.was_ndi_blocked = True
+                ts.blocked_2op = True
+                break
+            del buf[0]
+            iq.insert(instr, cycle)
+            n += 1
+        return n
+
+    def scan_blocked(self, core, ts) -> bool:
+        buf = ts.dispatch_buffer
+        if not buf:
+            return False
+        return len(core.iq.nonready_sources(buf[0])) >= 2

@@ -1,0 +1,26 @@
+"""Experiment drivers regenerating the paper's evaluation.
+
+Every figure and in-text statistic of the paper maps to a function here;
+see DESIGN.md §4 for the index and EXPERIMENTS.md for measured results.
+"""
+
+from repro.experiments.runner import (
+    simulate_benchmark,
+    simulate_mix,
+    simulate_mix_with_fairness,
+    solo_ipc,
+)
+from repro.experiments.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "simulate_benchmark",
+    "simulate_mix",
+    "simulate_mix_with_fairness",
+    "solo_ipc",
+    "run_sweep",
+    "SweepResult",
+]
+
+# Figure drivers, in-text statistics, plotting and the report renderers
+# are imported lazily by their users (repro.experiments.figures,
+# .intext, .plot, .report) to keep `import repro` light.

@@ -1,0 +1,212 @@
+"""Drivers regenerating the paper's Figures 1 and 3–8.
+
+Each driver returns a :class:`FigureResult` holding the same series the
+paper plots (one value per IQ size per scheduler), normalised the same
+way:
+
+* **Figure 1** — speedup of 2OP_BLOCK over the traditional scheduler of
+  the same capacity, one curve per thread count (2/3/4), harmonic mean
+  over the 12 mixes of the matching workload table.
+* **Figures 3/5/7** — throughput-IPC speedup of {traditional, 2OP_BLOCK,
+  2OP_BLOCK+OOO-dispatch} for 2/3/4-thread workloads. Each scheme's
+  curve is normalised to the traditional scheduler at the smallest IQ
+  size, so same-size ratios between curves match the percentages quoted
+  in the paper's text.
+* **Figures 4/6/8** — the same comparison in terms of the fairness
+  metric (harmonic mean of weighted IPCs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.config.machine import MachineConfig
+from repro.config.presets import paper_machine
+from repro.experiments.sweep import (
+    PAPER_IQ_SIZES,
+    PAPER_SCHEDULERS,
+    SweepResult,
+    run_sweep,
+)
+from repro.workloads.mixes import Mix, mixes_for_threads
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """One regenerated figure: series of values per scheduler."""
+
+    figure: str
+    metric: str
+    iq_sizes: tuple[int, ...]
+    #: scheduler -> one value per IQ size.
+    series: dict[str, list[float]] = field(default_factory=dict)
+    sweep: SweepResult | None = None
+
+    def speedup_over(self, scheduler: str, baseline: str) -> list[float]:
+        """Per-IQ-size ratio of one scheduler's series over another's."""
+        return [
+            s / b
+            for s, b in zip(self.series[scheduler], self.series[baseline])
+        ]
+
+    def rows(self) -> list[tuple]:
+        """Tabular form: (iq_size, *scheduler values)."""
+        scheds = sorted(self.series)
+        return [
+            (iq, *(self.series[s][i] for s in scheds))
+            for i, iq in enumerate(self.iq_sizes)
+        ]
+
+
+def _resolve_mixes(num_threads: int, mixes: Sequence[Mix] | None,
+                   max_mixes: int | None) -> list[Mix]:
+    chosen = list(mixes) if mixes is not None else list(
+        mixes_for_threads(num_threads)
+    )
+    if max_mixes is not None:
+        chosen = chosen[:max_mixes]
+    return chosen
+
+
+def figure1(max_insns: int = 10_000, seed: int = 0,
+            iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+            thread_counts: Sequence[int] = (2, 3, 4),
+            max_mixes: int | None = None,
+            base_config: MachineConfig | None = None,
+            progress=None) -> FigureResult:
+    """Figure 1: 2OP_BLOCK speedup over same-size traditional IQ.
+
+    Returns a :class:`FigureResult` whose series keys are ``"2 threads"``
+    etc., one speedup value per IQ size.
+    """
+    base = base_config if base_config is not None else paper_machine()
+    result = FigureResult(
+        figure="figure1",
+        metric="2OP_BLOCK IPC speedup vs traditional (same capacity)",
+        iq_sizes=tuple(iq_sizes),
+    )
+    for threads in thread_counts:
+        chosen = _resolve_mixes(threads, None, max_mixes)
+        sweep = run_sweep(
+            chosen, base,
+            schedulers=("traditional", "2op_block"),
+            iq_sizes=iq_sizes, max_insns=max_insns, seed=seed,
+            progress=progress,
+        )
+        result.series[f"{threads} threads"] = [
+            sweep.hmean_ipc("2op_block", q) / sweep.hmean_ipc("traditional", q)
+            for q in iq_sizes
+        ]
+    return result
+
+
+def _speedup_figure(figure: str, num_threads: int, fairness: bool,
+                    max_insns: int, seed: int,
+                    iq_sizes: Sequence[int],
+                    mixes: Sequence[Mix] | None,
+                    max_mixes: int | None,
+                    base_config: MachineConfig | None,
+                    progress) -> FigureResult:
+    base = base_config if base_config is not None else paper_machine()
+    chosen = _resolve_mixes(num_threads, mixes, max_mixes)
+    sweep = run_sweep(
+        chosen, base,
+        schedulers=PAPER_SCHEDULERS, iq_sizes=iq_sizes,
+        max_insns=max_insns, seed=seed,
+        with_fairness=fairness, progress=progress,
+    )
+    value = sweep.hmean_fairness if fairness else sweep.hmean_ipc
+    baseline = value("traditional", iq_sizes[0])
+    metric = (
+        "fairness (hmean weighted IPC) speedup"
+        if fairness else "throughput IPC speedup"
+    )
+    result = FigureResult(
+        figure=figure,
+        metric=f"{metric}, {num_threads}-thread workloads, "
+               f"normalised to traditional@{iq_sizes[0]}",
+        iq_sizes=tuple(iq_sizes),
+        sweep=sweep,
+    )
+    for sched in PAPER_SCHEDULERS:
+        result.series[sched] = [value(sched, q) / baseline for q in iq_sizes]
+    return result
+
+
+def figure3(max_insns: int = 10_000, seed: int = 0,
+            iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+            mixes: Sequence[Mix] | None = None,
+            max_mixes: int | None = None,
+            base_config: MachineConfig | None = None,
+            progress=None) -> FigureResult:
+    """Figure 3: throughput-IPC speedup, 2-threaded workloads."""
+    return _speedup_figure("figure3", 2, False, max_insns, seed, iq_sizes,
+                           mixes, max_mixes, base_config, progress)
+
+
+def figure4(max_insns: int = 10_000, seed: int = 0,
+            iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+            mixes: Sequence[Mix] | None = None,
+            max_mixes: int | None = None,
+            base_config: MachineConfig | None = None,
+            progress=None) -> FigureResult:
+    """Figure 4: fairness improvement, 2-threaded workloads."""
+    return _speedup_figure("figure4", 2, True, max_insns, seed, iq_sizes,
+                           mixes, max_mixes, base_config, progress)
+
+
+def figure5(max_insns: int = 10_000, seed: int = 0,
+            iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+            mixes: Sequence[Mix] | None = None,
+            max_mixes: int | None = None,
+            base_config: MachineConfig | None = None,
+            progress=None) -> FigureResult:
+    """Figure 5: throughput-IPC speedup, 3-threaded workloads."""
+    return _speedup_figure("figure5", 3, False, max_insns, seed, iq_sizes,
+                           mixes, max_mixes, base_config, progress)
+
+
+def figure6(max_insns: int = 10_000, seed: int = 0,
+            iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+            mixes: Sequence[Mix] | None = None,
+            max_mixes: int | None = None,
+            base_config: MachineConfig | None = None,
+            progress=None) -> FigureResult:
+    """Figure 6: fairness improvement, 3-threaded workloads."""
+    return _speedup_figure("figure6", 3, True, max_insns, seed, iq_sizes,
+                           mixes, max_mixes, base_config, progress)
+
+
+def figure7(max_insns: int = 10_000, seed: int = 0,
+            iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+            mixes: Sequence[Mix] | None = None,
+            max_mixes: int | None = None,
+            base_config: MachineConfig | None = None,
+            progress=None) -> FigureResult:
+    """Figure 7: throughput-IPC speedup, 4-threaded workloads."""
+    return _speedup_figure("figure7", 4, False, max_insns, seed, iq_sizes,
+                           mixes, max_mixes, base_config, progress)
+
+
+def figure8(max_insns: int = 10_000, seed: int = 0,
+            iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+            mixes: Sequence[Mix] | None = None,
+            max_mixes: int | None = None,
+            base_config: MachineConfig | None = None,
+            progress=None) -> FigureResult:
+    """Figure 8: fairness improvement, 4-threaded workloads."""
+    return _speedup_figure("figure8", 4, True, max_insns, seed, iq_sizes,
+                           mixes, max_mixes, base_config, progress)
+
+
+#: All figure drivers keyed by the paper's figure number.
+FIGURE_DRIVERS = {
+    "1": figure1,
+    "3": figure3,
+    "4": figure4,
+    "5": figure5,
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+}

@@ -1,0 +1,110 @@
+"""Terminal line charts and CSV export for figure results.
+
+matplotlib is not available in the reproduction environment, so the
+figure drivers render to ASCII: good enough to eyeball the crossovers
+the paper's line charts show, and diffable in CI. ``to_csv`` exports the
+raw series for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+
+from repro.experiments.figures import FigureResult
+
+#: Glyph per series, assigned in sorted-name order.
+_MARKERS = "ox*+#@%&"
+
+
+def ascii_chart(result: FigureResult, width: int = 64, height: int = 16,
+                ) -> str:
+    """Render a FigureResult as an ASCII line chart.
+
+    The x axis spans the swept IQ sizes, the y axis the series values;
+    each series uses one marker glyph (legend below the chart).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart needs at least 16x4 characters")
+    names = sorted(result.series)
+    xs = list(result.iq_sizes)
+    all_vals = [v for name in names for v in result.series[name]]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    pad = (hi - lo) * 0.08
+    lo -= pad
+    hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+    x_min, x_max = xs[0], xs[-1]
+    x_span = max(1, x_max - x_min)
+
+    def col(x: float) -> int:
+        return round((x - x_min) / x_span * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - lo) / (hi - lo) * (height - 1))
+
+    for idx, name in enumerate(names):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        series = result.series[name]
+        # Interpolated polyline between sample points.
+        for (x0, y0), (x1, y1) in zip(zip(xs, series), zip(xs[1:], series[1:])):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                r = row(y0 + t * (y1 - y0))
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in zip(xs, series):
+            grid[row(y)][col(x)] = marker
+
+    out = io.StringIO()
+    out.write(f"{result.figure}: {result.metric}\n")
+    for i, line in enumerate(grid):
+        if i == 0:
+            label = f"{hi:7.3f} |"
+        elif i == height - 1:
+            label = f"{lo:7.3f} |"
+        else:
+            label = "        |"
+        out.write(label + "".join(line) + "\n")
+    out.write("        +" + "-" * width + "\n")
+    ticks = "         "
+    for x in xs:
+        ticks += f"{x:<8}" if col(x) < width - 8 else f"{x}"
+        break
+    axis = [" "] * (width + 9)
+    for x in xs:
+        s = str(x)
+        start = 9 + min(col(x), width - len(s))
+        for j, ch in enumerate(s):
+            axis[start + j] = ch
+    out.write("".join(axis).rstrip() + "\n")
+    for idx, name in enumerate(names):
+        out.write(f"  {_MARKERS[idx % len(_MARKERS)]} = {name}\n")
+    return out.getvalue().rstrip()
+
+
+def to_csv(result: FigureResult) -> str:
+    """Export the series as CSV (header: iq_size, then schedulers)."""
+    names = sorted(result.series)
+    lines = ["iq_size," + ",".join(names)]
+    for i, iq in enumerate(result.iq_sizes):
+        lines.append(
+            f"{iq}," + ",".join(f"{result.series[n][i]:.6f}" for n in names)
+        )
+    return "\n".join(lines)
+
+
+def sweep_to_csv(sweep, key: str = "throughput_ipc") -> str:
+    """Export every grid point of a SweepResult as long-form CSV."""
+    lines = [f"scheduler,iq_size,mix,{key}"]
+    for (sched, iq, mix), result in sorted(sweep.results.items()):
+        if key == "throughput_ipc":
+            value = result.throughput_ipc
+        else:
+            value = result.extra(key)
+        lines.append(f"{sched},{iq},{mix},{value:.6f}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports line charts; a terminal reproduction prints the same
+series as aligned tables plus the headline same-size ratios the paper
+quotes in its prose.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.figures import FigureResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 precision: int = 3) -> str:
+    """Render rows as an aligned ASCII table."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.{precision}f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_figure(result: FigureResult, precision: int = 3) -> str:
+    """Render a FigureResult as the table of its series."""
+    scheds = sorted(result.series)
+    headers = ["iq_size", *scheds]
+    rows = result.rows()
+    title = f"{result.figure}: {result.metric}"
+    return f"{title}\n{format_table(headers, rows, precision)}"
+
+
+def render_same_size_ratios(result: FigureResult, scheduler: str,
+                            baseline: str) -> str:
+    """Render per-IQ-size ratios of two schedulers (the paper's prose
+    quotes these, e.g. 'OOO dispatch improves over 2OP_BLOCK by 22% for
+    64-entry IQs')."""
+    if scheduler not in result.series or baseline not in result.series:
+        raise KeyError(
+            f"series {scheduler!r}/{baseline!r} not in {sorted(result.series)}"
+        )
+    ratios = result.speedup_over(scheduler, baseline)
+    rows = [
+        (iq, f"{(r - 1) * 100:+.1f}%")
+        for iq, r in zip(result.iq_sizes, ratios)
+    ]
+    return format_table(
+        ["iq_size", f"{scheduler} vs {baseline}"], rows
+    )
+
+
+def render_dict(title: str, mapping: dict, precision: int = 4) -> str:
+    """Render a flat or one-level-nested dict as a small table."""
+    rows = []
+    for key, value in mapping.items():
+        if isinstance(value, dict):
+            for sub, v in value.items():
+                rows.append((f"{key}.{sub}", v))
+        else:
+            rows.append((str(key), value))
+    return f"{title}\n{format_table(['statistic', 'value'], rows, precision)}"

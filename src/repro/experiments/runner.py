@@ -1,0 +1,133 @@
+"""Single-run experiment entry points.
+
+These are the building blocks of every figure driver: simulate one
+benchmark or one mix on one machine configuration, deterministically.
+
+Trace seeds depend only on ``(benchmark, occurrence-in-mix, root seed)``
+— *not* on the machine configuration — so every scheduler and IQ size
+sees byte-identical instruction streams, and a benchmark's single-thread
+baseline run replays exactly the trace its first in-mix occurrence
+executes (required for the weighted-IPC fairness metric).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config.machine import MachineConfig
+from repro.metrics.fairness import harmonic_weighted_ipc
+from repro.metrics.ipc import SimResult
+from repro.pipeline.smt_core import SMTProcessor
+from repro.trace.generator import Trace, generate_trace
+from repro.util.rng import derive_seed
+
+#: Extra trace instructions beyond the commit budget, covering in-flight
+#: slack so no thread's trace runs dry before the fastest thread finishes.
+TRACE_SLACK = 4096
+
+#: Default functional warmup (branch predictors + caches) preceding the
+#: measured region, standing in for the paper's SimPoint fast-forward.
+DEFAULT_WARMUP = 30_000
+
+
+def default_warmup(max_insns: int) -> int:
+    """Warmup length used when the caller does not override it."""
+    return max(DEFAULT_WARMUP, max_insns)
+
+
+def thread_traces(benchmarks: Sequence[str], max_insns: int, seed: int,
+                  warmup: int) -> list[Trace]:
+    """Generate (or fetch cached) traces for each mix slot."""
+    seen: dict[str, int] = {}
+    traces = []
+    for name in benchmarks:
+        occurrence = seen.get(name, 0)
+        seen[name] = occurrence + 1
+        traces.append(
+            generate_trace(
+                name,
+                warmup + max_insns + TRACE_SLACK,
+                derive_seed(seed, "slot", name, occurrence),
+            )
+        )
+    return traces
+
+
+def simulate_mix(benchmarks: Sequence[str], config: MachineConfig,
+                 max_insns: int = 20_000, seed: int = 0,
+                 max_cycles: int = 5_000_000,
+                 warmup: int | None = None) -> SimResult:
+    """Simulate a multithreaded mix; stops when any thread commits
+    ``max_insns`` instructions (the paper's stopping rule).
+
+    ``warmup`` instructions per thread are replayed functionally into the
+    branch predictors and caches first (SimPoint-style warm state);
+    defaults to :func:`default_warmup`.
+    """
+    if warmup is None:
+        warmup = default_warmup(max_insns)
+    traces = thread_traces(benchmarks, max_insns, seed, warmup)
+    core = SMTProcessor(config, traces, warmup=warmup)
+    stats = core.run(max_insns, max_cycles=max_cycles)
+    return SimResult.from_stats(
+        tuple(benchmarks), config.scheduler, config.iq_size, stats
+    )
+
+
+def simulate_benchmark(name: str, config: MachineConfig,
+                       max_insns: int = 20_000, seed: int = 0,
+                       max_cycles: int = 5_000_000,
+                       warmup: int | None = None) -> SimResult:
+    """Simulate one benchmark alone (single-thread baseline)."""
+    return simulate_mix([name], config, max_insns, seed, max_cycles, warmup)
+
+
+# ---------------------------------------------------------------------------
+# single-thread baseline cache (fairness metric)
+# ---------------------------------------------------------------------------
+
+_SOLO_CACHE: dict[tuple, float] = {}
+
+
+def solo_ipc(name: str, config: MachineConfig, max_insns: int = 20_000,
+             seed: int = 0) -> float:
+    """Single-thread IPC of ``name`` on ``config`` (memoised).
+
+    The paper weights each thread's in-mix IPC by its stand-alone IPC on
+    the same machine; these runs are shared across every mix touching
+    the benchmark.
+    """
+    key = (name, config, max_insns, seed)
+    ipc = _SOLO_CACHE.get(key)
+    if ipc is None:
+        ipc = simulate_benchmark(name, config, max_insns, seed).throughput_ipc
+        _SOLO_CACHE[key] = ipc
+    return ipc
+
+
+def clear_solo_cache() -> None:
+    """Drop memoised single-thread baselines (tests)."""
+    _SOLO_CACHE.clear()
+
+
+def simulate_mix_with_fairness(benchmarks: Sequence[str],
+                               config: MachineConfig,
+                               max_insns: int = 20_000, seed: int = 0,
+                               ) -> tuple[SimResult, float]:
+    """Simulate a mix and also compute the fairness metric.
+
+    Returns ``(result, harmonic mean of weighted IPCs)``. The weighting
+    baselines are single-thread runs on the *traditional-scheduler*
+    machine of the same capacity: weights must be scheme-independent for
+    the paper's cross-scheduler fairness comparisons (Figures 4/6/8) to
+    be meaningful — weighting each scheme by its own throttled solo IPCs
+    would reward schemes for slowing everything down uniformly.
+    """
+    result = simulate_mix(benchmarks, config, max_insns, seed)
+    baseline_cfg = (
+        config if config.scheduler == "traditional"
+        else config.replace(scheduler="traditional")
+    )
+    alone = [solo_ipc(b, baseline_cfg, max_insns, seed) for b in benchmarks]
+    fairness = harmonic_weighted_ipc(result.per_thread_ipc, alone)
+    return result, fairness

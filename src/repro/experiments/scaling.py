@@ -1,0 +1,88 @@
+"""Thread-count and IQ-size scaling study (the paper's §5 conclusion).
+
+The paper's closing claim: "the performance of 2OP_BLOCK with
+out-of-order dispatch scales much better with both the number of threads
+and the IQ size compared to either the traditional design or 2OP_BLOCK
+alone." This driver quantifies both scaling axes in one table:
+
+* per scheduler, IPC versus thread count at a fixed IQ size, and
+* per scheduler, the IQ-size scaling slope (IPC at the largest over the
+  smallest swept size), whose ordering demonstrates the claim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.config.machine import MachineConfig
+from repro.config.presets import paper_machine
+from repro.experiments.runner import simulate_mix
+from repro.metrics.aggregate import harmonic_mean
+from repro.workloads.mixes import mixes_for_threads
+
+SCHEDULERS = ("traditional", "2op_block", "2op_ooo")
+
+
+@dataclass(slots=True)
+class ScalingResult:
+    """IPC grid over (scheduler, thread count, IQ size)."""
+
+    thread_counts: tuple[int, ...]
+    iq_sizes: tuple[int, ...]
+    #: (scheduler, threads, iq) -> hmean IPC over mixes.
+    ipc: dict[tuple[str, int, int], float] = field(default_factory=dict)
+
+    def thread_scaling(self, scheduler: str, iq_size: int) -> list[float]:
+        """IPC per thread count, normalised to the 2-thread point."""
+        base = self.ipc[(scheduler, self.thread_counts[0], iq_size)]
+        return [
+            self.ipc[(scheduler, t, iq_size)] / base
+            for t in self.thread_counts
+        ]
+
+    def iq_scaling(self, scheduler: str, threads: int) -> float:
+        """IPC at the largest swept IQ over the smallest (slope proxy)."""
+        lo = self.ipc[(scheduler, threads, self.iq_sizes[0])]
+        hi = self.ipc[(scheduler, threads, self.iq_sizes[-1])]
+        return hi / lo
+
+    def rows(self) -> list[tuple]:
+        """Tabular form: (scheduler, threads, iq, hmean ipc)."""
+        return [
+            (s, t, q, self.ipc[(s, t, q)])
+            for (s, t, q) in sorted(self.ipc)
+        ]
+
+
+def run_scaling(thread_counts: Sequence[int] = (2, 3, 4),
+                iq_sizes: Sequence[int] = (32, 64, 96),
+                max_insns: int = 8_000, seed: int = 0,
+                max_mixes: int | None = 6,
+                base_config: MachineConfig | None = None,
+                progress=None) -> ScalingResult:
+    """Run the scaling grid over the paper's workload tables."""
+    base = base_config if base_config is not None else paper_machine()
+    result = ScalingResult(
+        thread_counts=tuple(thread_counts), iq_sizes=tuple(iq_sizes)
+    )
+    for threads in thread_counts:
+        mixes = list(mixes_for_threads(threads))
+        if max_mixes is not None:
+            mixes = mixes[:max_mixes]
+        for scheduler in SCHEDULERS:
+            for iq_size in iq_sizes:
+                cfg = base.replace(scheduler=scheduler, iq_size=iq_size)
+                ipcs = [
+                    simulate_mix(m.benchmarks, cfg, max_insns, seed)
+                    .throughput_ipc
+                    for m in mixes
+                ]
+                result.ipc[(scheduler, threads, iq_size)] = \
+                    harmonic_mean(ipcs)
+                if progress is not None:
+                    progress(
+                        f"{scheduler:>12} {threads}T iq={iq_size}: "
+                        f"{result.ipc[(scheduler, threads, iq_size)]:.3f}"
+                    )
+    return result

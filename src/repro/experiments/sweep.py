@@ -1,0 +1,115 @@
+"""Configuration sweeps over (scheduler, IQ size, mix).
+
+The paper's evaluation is a grid: three scheduler designs x five IQ
+sizes x 12 mixes per thread count. ``run_sweep`` executes the grid and
+returns an indexable result set the figure drivers aggregate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.config.machine import MachineConfig
+from repro.metrics.aggregate import harmonic_mean
+from repro.metrics.ipc import SimResult
+from repro.workloads.mixes import Mix
+
+#: IQ sizes swept in the paper's figures.
+PAPER_IQ_SIZES = (32, 48, 64, 96, 128)
+
+#: Scheduler designs compared in Figures 3-8.
+PAPER_SCHEDULERS = ("traditional", "2op_block", "2op_ooo")
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Results of a (scheduler, IQ size, mix) grid."""
+
+    results: dict[tuple[str, int, str], SimResult] = field(
+        default_factory=dict
+    )
+    fairness: dict[tuple[str, int, str], float] = field(default_factory=dict)
+
+    def get(self, scheduler: str, iq_size: int, mix_name: str) -> SimResult:
+        """Result of one grid point."""
+        return self.results[(scheduler, iq_size, mix_name)]
+
+    def mix_names(self) -> list[str]:
+        """All mix names present, sorted."""
+        return sorted({k[2] for k in self.results})
+
+    # ------------------------------------------------------------------
+    def hmean_ipc(self, scheduler: str, iq_size: int) -> float:
+        """Harmonic-mean throughput IPC across mixes (paper §5)."""
+        ipcs = [
+            r.throughput_ipc
+            for (s, q, _), r in self.results.items()
+            if s == scheduler and q == iq_size
+        ]
+        return harmonic_mean(ipcs)
+
+    def hmean_fairness(self, scheduler: str, iq_size: int) -> float:
+        """Harmonic-mean fairness metric across mixes."""
+        vals = [
+            v
+            for (s, q, _), v in self.fairness.items()
+            if s == scheduler and q == iq_size
+        ]
+        return harmonic_mean(vals)
+
+    def mean_extra(self, scheduler: str, iq_size: int, key: str) -> float:
+        """Arithmetic mean of a diagnostic statistic across mixes."""
+        vals = [
+            r.extra(key)
+            for (s, q, _), r in self.results.items()
+            if s == scheduler and q == iq_size
+        ]
+        if not vals:
+            raise KeyError(f"no results for {scheduler}@{iq_size}")
+        return sum(vals) / len(vals)
+
+
+def run_sweep(mixes: Sequence[Mix], base_config: MachineConfig,
+              schedulers: Sequence[str] = PAPER_SCHEDULERS,
+              iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
+              max_insns: int = 20_000, seed: int = 0,
+              with_fairness: bool = False,
+              progress: Callable[[str], None] | None = None) -> SweepResult:
+    """Run the full grid.
+
+    Args:
+        mixes: workloads to simulate (e.g. a subset of Table 2-4 mixes).
+        base_config: machine template; scheduler and IQ size are swept.
+        schedulers: scheduler kinds to compare.
+        iq_sizes: issue-queue capacities to sweep.
+        max_insns: per-thread commit budget (the paper uses 100 M; scale
+            down for tractable pure-Python runs — shapes are stable from
+            a few tens of thousands of instructions, see EXPERIMENTS.md).
+        seed: root seed for trace generation.
+        with_fairness: also run single-thread baselines and compute the
+            fairness metric per grid point.
+        progress: optional callback receiving a human-readable line per
+            completed grid point.
+    """
+    from repro.experiments.runner import simulate_mix, simulate_mix_with_fairness
+
+    out = SweepResult()
+    for scheduler in schedulers:
+        for iq_size in iq_sizes:
+            cfg = base_config.replace(scheduler=scheduler, iq_size=iq_size)
+            for mix in mixes:
+                if with_fairness:
+                    result, fair = simulate_mix_with_fairness(
+                        mix.benchmarks, cfg, max_insns, seed
+                    )
+                    out.fairness[(scheduler, iq_size, mix.name)] = fair
+                else:
+                    result = simulate_mix(mix.benchmarks, cfg, max_insns, seed)
+                out.results[(scheduler, iq_size, mix.name)] = result
+                if progress is not None:
+                    progress(
+                        f"{scheduler:>12} iq={iq_size:<4} {mix.name}: "
+                        f"IPC={result.throughput_ipc:.3f}"
+                    )
+    return out

@@ -1,0 +1,6 @@
+"""Front end: fetch policies and the fetch unit."""
+
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.icount import icount_order, round_robin_order
+
+__all__ = ["FetchUnit", "icount_order", "round_robin_order"]

@@ -1,0 +1,102 @@
+"""The fetch stage.
+
+Per cycle, up to ``fetch_threads_per_cycle`` (2) threads share the
+``fetch_width`` (8) fetch bandwidth, selected by the configured policy
+(I-Count by default). A thread's fetch group ends at:
+
+* a predicted-taken branch (fetch break),
+* a mispredicted branch — the thread then stalls until the branch
+  resolves (trace-driven simulation fetches no wrong-path instructions;
+  the misprediction cost is the resolution bubble plus redirect penalty
+  plus front-end refill),
+* an instruction-cache miss (the thread stalls for the fill latency),
+* a full front-end pipe (back-pressure from rename), or
+* trace exhaustion.
+"""
+
+from __future__ import annotations
+
+from repro.config.machine import MachineConfig
+from repro.frontend.icount import icount_order, round_robin_order
+from repro.isa.opcodes import OpClass
+
+
+class FetchUnit:
+    """Shared SMT fetch stage."""
+
+    __slots__ = ("cfg", "_order", "_stall_gate")
+
+    def __init__(self, cfg: MachineConfig) -> None:
+        self.cfg = cfg
+        self._order = (
+            icount_order if cfg.fetch_policy == "icount" else round_robin_order
+        )
+        self._stall_gate = cfg.fetch_policy == "stall"
+
+    # ------------------------------------------------------------------
+    def fetch_cycle(self, core, cycle: int) -> int:
+        """Run one fetch cycle; returns instructions fetched."""
+        candidates = [
+            ts for ts in core.threads if self._can_fetch(ts, cycle)
+        ]
+        if not candidates:
+            return 0
+        budget = self.cfg.fetch_width
+        fetched = 0
+        for ts in self._order(candidates, cycle)[: self.cfg.fetch_threads_per_cycle]:
+            if budget <= 0:
+                break
+            n = self._fetch_thread(core, ts, cycle, budget)
+            budget -= n
+            fetched += n
+        return fetched
+
+    # ------------------------------------------------------------------
+    def _can_fetch(self, ts, cycle: int) -> bool:
+        if self._stall_gate and ts.pending_long_misses:
+            # STALL policy [15]: no fetch while a memory-level miss is
+            # outstanding for this thread.
+            return False
+        return (
+            ts.fetch_idx < ts.trace_len
+            and cycle >= ts.stalled_until
+            and ts.wait_branch is None
+            and len(ts.pipe) < ts.pipe_capacity
+        )
+
+    def _fetch_thread(self, core, ts, cycle: int, budget: int) -> int:
+        trace = ts.trace
+        # One icache probe per fetch group (line-granular behaviour is
+        # dominated by the group head on these large lines).
+        res = core.hierarchy.access_inst(trace.pc[ts.fetch_idx])
+        if res.extra_latency:
+            ts.stalled_until = cycle + res.extra_latency
+            return 0
+        exit_cycle = cycle + self.cfg.frontend_depth - 1
+        stats = core.stats
+        n = 0
+        while (
+            n < budget
+            and ts.fetch_idx < ts.trace_len
+            and len(ts.pipe) < ts.pipe_capacity
+        ):
+            idx = ts.fetch_idx
+            instr = core.new_instr(ts, idx, cycle)
+            ts.fetch_idx = idx + 1
+            ts.pipe.append((exit_cycle, instr))
+            ts.icount += 1
+            stats.fetched += 1
+            stats.fetched_per_thread[ts.tid] += 1
+            n += 1
+            if instr.op == OpClass.BRANCH:
+                pred = ts.predictor.predict(
+                    instr.pc, instr.taken, instr.target
+                )
+                instr.prediction = pred
+                if pred.mispredicted:
+                    instr.mispredicted = True
+                    ts.wait_branch = instr
+                    break
+                if instr.taken:
+                    break  # fetch break at a predicted-taken branch
+        return n

@@ -1,0 +1,45 @@
+"""ISA model: operation classes, functional-unit latencies, registers.
+
+The simulator is trace driven, so the "ISA" is the minimal abstract
+machine the scheduler cares about: each instruction has an operation
+class (which selects a functional unit and a latency), up to two register
+source operands, at most one register destination, and — for loads,
+stores and branches — the extra trace payload (effective address, branch
+outcome/target).
+"""
+
+from repro.isa.opcodes import (
+    FU_ASSIGNMENT,
+    FUClass,
+    OpClass,
+    execution_latency,
+    fu_for_op,
+    issue_interval,
+)
+from repro.isa.instruction import TraceInstruction
+from repro.isa.registers import (
+    FP_BASE,
+    NUM_LOGICAL_REGS,
+    REG_FP_ZERO,
+    REG_INT_ZERO,
+    is_fp_reg,
+    is_zero_reg,
+    reg_class,
+)
+
+__all__ = [
+    "OpClass",
+    "FUClass",
+    "FU_ASSIGNMENT",
+    "fu_for_op",
+    "execution_latency",
+    "issue_interval",
+    "TraceInstruction",
+    "NUM_LOGICAL_REGS",
+    "FP_BASE",
+    "REG_INT_ZERO",
+    "REG_FP_ZERO",
+    "is_fp_reg",
+    "is_zero_reg",
+    "reg_class",
+]

@@ -1,0 +1,70 @@
+"""Trace instruction record.
+
+``TraceInstruction`` is the *architectural* view produced by the trace
+generator; the pipeline wraps it into a dynamic instruction
+(:class:`repro.pipeline.dynamic.DynInstr`) at fetch time. Keeping the two
+separate lets a trace be replayed through many machine configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG
+
+
+@dataclass(frozen=True, slots=True)
+class TraceInstruction:
+    """One architectural instruction in a benchmark trace.
+
+    Attributes:
+        op: operation class.
+        dest: destination logical register, or ``NO_REG``.
+        src1: first source logical register, or ``NO_REG``.
+        src2: second source logical register, or ``NO_REG``.
+        pc: instruction address (used by icache and branch predictor).
+        addr: effective address for loads/stores, else 0.
+        taken: architectural branch outcome (branches only).
+        target: architectural branch target (branches only).
+    """
+
+    op: OpClass
+    dest: int = NO_REG
+    src1: int = NO_REG
+    src2: int = NO_REG
+    pc: int = 0
+    addr: int = 0
+    taken: bool = False
+    target: int = 0
+
+    @property
+    def is_branch(self) -> bool:
+        """True when the instruction is a control transfer."""
+        return self.op is OpClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        """True for data-memory reads."""
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for data-memory writes."""
+        return self.op is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return self.op is OpClass.LOAD or self.op is OpClass.STORE
+
+    def num_reg_sources(self) -> int:
+        """Number of true register source operands (zero regs excluded)."""
+        from repro.isa.registers import is_zero_reg
+
+        n = 0
+        if self.src1 != NO_REG and not is_zero_reg(self.src1):
+            n += 1
+        if self.src2 != NO_REG and not is_zero_reg(self.src2):
+            n += 1
+        return n

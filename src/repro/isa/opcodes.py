@@ -1,0 +1,89 @@
+"""Operation classes and functional-unit latency table.
+
+Latencies and unit counts follow Table 1 of the paper:
+
+========================  =====  ========  ==============
+Unit                      count  latency   issue interval
+========================  =====  ========  ==============
+Int Add                      8       1            1
+Int Mult / Div               4     3 / 20       1 / 19
+Load/Store port              4       2            1
+FP Add                       8       2            1
+FP Mult / Div / Sqrt         4   4 / 12 / 24  1 / 12 / 24
+========================  =====  ========  ==============
+
+Loads pay the 2-cycle port latency for an L1 hit; cache misses extend the
+completion time by the hierarchy's miss penalty (see
+:mod:`repro.memory.hierarchy`). Branches execute on the integer adders.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Dynamic-instruction operation classes understood by the scheduler."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    LOAD = 3
+    STORE = 4
+    FPADD = 5
+    FPMUL = 6
+    FPDIV = 7
+    FPSQRT = 8
+    BRANCH = 9
+    NOP = 10
+
+
+class FUClass(enum.IntEnum):
+    """Functional-unit pools (Table 1)."""
+
+    INT_ALU = 0
+    INT_MULDIV = 1
+    MEM_PORT = 2
+    FP_ADD = 3
+    FP_MULDIV = 4
+
+
+#: op class -> (functional unit pool, execution latency, issue interval).
+#: The issue interval is the number of cycles the unit is busy before it
+#: can accept another operation (Table 1's ``total/issue`` notation).
+FU_ASSIGNMENT: dict[OpClass, tuple[FUClass, int, int]] = {
+    OpClass.IALU: (FUClass.INT_ALU, 1, 1),
+    OpClass.BRANCH: (FUClass.INT_ALU, 1, 1),
+    OpClass.IMUL: (FUClass.INT_MULDIV, 3, 1),
+    OpClass.IDIV: (FUClass.INT_MULDIV, 20, 19),
+    OpClass.LOAD: (FUClass.MEM_PORT, 2, 1),
+    OpClass.STORE: (FUClass.MEM_PORT, 2, 1),
+    OpClass.FPADD: (FUClass.FP_ADD, 2, 1),
+    OpClass.FPMUL: (FUClass.FP_MULDIV, 4, 1),
+    OpClass.FPDIV: (FUClass.FP_MULDIV, 12, 12),
+    OpClass.FPSQRT: (FUClass.FP_MULDIV, 24, 24),
+    OpClass.NOP: (FUClass.INT_ALU, 1, 1),
+}
+
+#: Ops that write a floating-point destination register.
+FP_PRODUCERS = frozenset(
+    {OpClass.FPADD, OpClass.FPMUL, OpClass.FPDIV, OpClass.FPSQRT}
+)
+
+#: Ops that reference data memory.
+MEM_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+def fu_for_op(op: OpClass) -> FUClass:
+    """Functional-unit pool executing ``op``."""
+    return FU_ASSIGNMENT[op][0]
+
+
+def execution_latency(op: OpClass) -> int:
+    """Base execution latency of ``op`` in cycles (excludes cache misses)."""
+    return FU_ASSIGNMENT[op][1]
+
+
+def issue_interval(op: OpClass) -> int:
+    """Cycles the functional unit stays busy after accepting ``op``."""
+    return FU_ASSIGNMENT[op][2]

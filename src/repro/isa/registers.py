@@ -1,0 +1,39 @@
+"""Logical register model.
+
+We model an Alpha-like register file: 32 integer registers (0–31, with
+r31 hard-wired to zero) and 32 floating-point registers (32–63, with f31
+= index 63 hard-wired to zero). Zero registers carry no dependences and
+are never renamed — the trace generator uses them for instructions with
+fewer than two register sources.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: First floating-point logical register index.
+FP_BASE = NUM_INT_REGS
+
+#: Hard-wired zero registers (Alpha r31 / f31).
+REG_INT_ZERO = NUM_INT_REGS - 1
+REG_FP_ZERO = NUM_LOGICAL_REGS - 1
+
+#: Sentinel for "no register operand".
+NO_REG = -1
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when ``reg`` names a floating-point logical register."""
+    return reg >= FP_BASE
+
+
+def is_zero_reg(reg: int) -> bool:
+    """True for the hard-wired zero registers (never renamed)."""
+    return reg == REG_INT_ZERO or reg == REG_FP_ZERO
+
+
+def reg_class(reg: int) -> int:
+    """0 for integer registers, 1 for floating-point registers."""
+    return 1 if reg >= FP_BASE else 0

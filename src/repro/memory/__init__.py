@@ -1,0 +1,6 @@
+"""Memory substrate: set-associative caches and the two-level hierarchy."""
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["SetAssociativeCache", "MemoryHierarchy", "AccessResult"]

@@ -1,0 +1,75 @@
+"""Two-level cache hierarchy with main memory (paper Table 1).
+
+Latency model: the functional-unit latency of a load (2 cycles, Table 1)
+covers an L1 hit. ``AccessResult.extra_latency`` is the *additional*
+delay: the L2 hit time (10) for an L1 miss that hits in L2, or the memory
+latency (150) for an L2 miss. Caches are shared by all SMT threads, as in
+the paper's SMT model.
+
+The model is deliberately MSHR-free: misses to the same line from
+different instructions each pay the full penalty. This overestimates
+memory stalls slightly but does so identically for every scheduler
+design, preserving relative results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.machine import MemoryConfig
+from repro.memory.cache import SetAssociativeCache
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of a data-side access."""
+
+    l1_hit: bool
+    l2_hit: bool
+    extra_latency: int
+
+    @property
+    def went_to_memory(self) -> bool:
+        """True when the access missed all caches."""
+        return not self.l1_hit and not self.l2_hit
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + main memory."""
+
+    __slots__ = ("cfg", "l1i", "l1d", "l2")
+
+    def __init__(self, cfg: MemoryConfig) -> None:
+        self.cfg = cfg
+        self.l1i = SetAssociativeCache(cfg.l1i)
+        self.l1d = SetAssociativeCache(cfg.l1d)
+        self.l2 = SetAssociativeCache(cfg.l2)
+
+    # ------------------------------------------------------------------
+    def access_data(self, addr: int) -> AccessResult:
+        """Data-side access (loads at execute, stores at commit)."""
+        if self.l1d.access(addr):
+            return AccessResult(True, True, 0)
+        if self.l2.access(addr):
+            return AccessResult(False, True, self.cfg.l2.hit_latency)
+        return AccessResult(False, False, self.cfg.memory_latency)
+
+    def access_inst(self, pc: int) -> AccessResult:
+        """Instruction-side access (fetch)."""
+        if self.l1i.access(pc):
+            return AccessResult(True, True, 0)
+        if self.l2.access(pc):
+            return AccessResult(False, True, self.cfg.l2.hit_latency)
+        return AccessResult(False, False, self.cfg.memory_latency)
+
+    def flush(self) -> None:
+        """Invalidate all levels."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+
+    def reset_stats(self) -> None:
+        """Zero all counters, keeping cache contents (post-warmup)."""
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()

@@ -1,0 +1,14 @@
+"""Performance metrics: throughput IPC, fairness, cross-mix aggregation."""
+
+from repro.metrics.aggregate import geometric_mean, harmonic_mean, speedup
+from repro.metrics.fairness import harmonic_weighted_ipc, weighted_ipcs
+from repro.metrics.ipc import SimResult
+
+__all__ = [
+    "SimResult",
+    "harmonic_mean",
+    "geometric_mean",
+    "speedup",
+    "weighted_ipcs",
+    "harmonic_weighted_ipc",
+]

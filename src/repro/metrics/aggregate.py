@@ -1,0 +1,36 @@
+"""Cross-mix aggregation helpers.
+
+"All results are shown as harmonic means across the simulated
+multithreaded mixes" (paper §5); speedups of a scheme over a baseline are
+the ratios of those harmonic means.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; rejects empty input and non-positive entries."""
+    if not values:
+        raise ValueError("harmonic mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"harmonic mean needs positive values, got {values}")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; rejects empty input and non-positive entries."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean needs positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(scheme: float, baseline: float) -> float:
+    """Relative speedup of ``scheme`` over ``baseline`` (1.0 = parity)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return scheme / baseline

@@ -1,0 +1,40 @@
+"""The paper's fairness metric: harmonic mean of weighted IPCs.
+
+Following Luo et al. [8] (and the paper's §2), each thread's IPC in the
+multithreaded mix is weighted by its single-thread IPC on the same
+machine, and the harmonic mean over threads rewards balanced progress::
+
+    wIPC_i = IPC_mix,i / IPC_alone,i
+    H      = N / sum_i (1 / wIPC_i)
+
+A scheme that speeds one thread up by starving another scores worse on
+``H`` even if raw throughput improves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def weighted_ipcs(mix_ipcs: Sequence[float],
+                  alone_ipcs: Sequence[float]) -> list[float]:
+    """Per-thread weighted IPCs (mix IPC relative to solo IPC)."""
+    if len(mix_ipcs) != len(alone_ipcs):
+        raise ValueError(
+            f"thread count mismatch: {len(mix_ipcs)} vs {len(alone_ipcs)}"
+        )
+    out = []
+    for mixed, alone in zip(mix_ipcs, alone_ipcs):
+        if alone <= 0:
+            raise ValueError(f"single-thread IPC must be positive, got {alone}")
+        out.append(mixed / alone)
+    return out
+
+
+def harmonic_weighted_ipc(mix_ipcs: Sequence[float],
+                          alone_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of weighted IPCs (the paper's fairness metric)."""
+    w = weighted_ipcs(mix_ipcs, alone_ipcs)
+    if any(x <= 0 for x in w):
+        return 0.0
+    return len(w) / sum(1.0 / x for x in w)

@@ -1,0 +1,62 @@
+"""Simulation result container.
+
+``SimResult`` is the immutable summary an experiment keeps per run; it
+carries enough per-thread data to compute both of the paper's metrics
+(throughput IPC and the harmonic-mean-of-weighted-IPCs fairness metric)
+plus the in-text diagnostic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.stats import PipelineStats
+
+
+@dataclass(frozen=True, slots=True)
+class SimResult:
+    """Summary of one simulation run."""
+
+    benchmarks: tuple[str, ...]
+    scheduler: str
+    iq_size: int
+    cycles: int
+    committed: tuple[int, ...]
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_stats(cls, benchmarks: tuple[str, ...], scheduler: str,
+                   iq_size: int, stats: PipelineStats) -> "SimResult":
+        """Build a result from a finished :class:`PipelineStats`."""
+        return cls(
+            benchmarks=tuple(benchmarks),
+            scheduler=scheduler,
+            iq_size=iq_size,
+            cycles=stats.cycles,
+            committed=tuple(stats.committed),
+            extras=stats.as_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_threads(self) -> int:
+        """Hardware threads simulated."""
+        return len(self.benchmarks)
+
+    @property
+    def throughput_ipc(self) -> float:
+        """Total commit IPC across threads (paper's first metric)."""
+        if not self.cycles:
+            return 0.0
+        return sum(self.committed) / self.cycles
+
+    @property
+    def per_thread_ipc(self) -> tuple[float, ...]:
+        """Commit IPC of each thread."""
+        if not self.cycles:
+            return tuple(0.0 for _ in self.committed)
+        return tuple(c / self.cycles for c in self.committed)
+
+    def extra(self, key: str, default: float = 0.0) -> float:
+        """Fetch a diagnostic statistic captured from the pipeline."""
+        return self.extras.get(key, default)

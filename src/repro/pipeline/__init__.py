@@ -1,0 +1,8 @@
+"""The SMT pipeline: dynamic instructions, ROB/LSQ, functional units and
+the cycle-level core (:class:`repro.pipeline.smt_core.SMTProcessor`)."""
+
+from repro.pipeline.dynamic import DynInstr
+from repro.pipeline.smt_core import SMTProcessor
+from repro.pipeline.stats import PipelineStats
+
+__all__ = ["DynInstr", "SMTProcessor", "PipelineStats"]

@@ -1,0 +1,56 @@
+"""Functional-unit pool with per-unit busy tracking (Table 1).
+
+Each unit records the next cycle at which it can accept an operation;
+multi-cycle-occupancy ops (divides, square roots) therefore block their
+unit for the ``issue interval`` of :data:`repro.isa.opcodes.FU_ASSIGNMENT`
+while pipelined ops accept one operation per cycle.
+"""
+
+from __future__ import annotations
+
+from repro.config.machine import MachineConfig
+from repro.isa.opcodes import FU_ASSIGNMENT, FUClass, OpClass
+
+
+class FunctionalUnitPool:
+    """All execution resources of the SMT core, shared by every thread."""
+
+    __slots__ = ("_units", "issued_per_class")
+
+    def __init__(self, cfg: MachineConfig) -> None:
+        counts = {
+            FUClass.INT_ALU: cfg.fu_int_alu,
+            FUClass.INT_MULDIV: cfg.fu_int_muldiv,
+            FUClass.MEM_PORT: cfg.fu_mem_ports,
+            FUClass.FP_ADD: cfg.fu_fp_add,
+            FUClass.FP_MULDIV: cfg.fu_fp_muldiv,
+        }
+        #: per FU class: list of next-free cycle per unit.
+        self._units: dict[int, list[int]] = {
+            int(fu): [0] * n for fu, n in counts.items()
+        }
+        self.issued_per_class: dict[int, int] = {int(fu): 0 for fu in counts}
+
+    # ------------------------------------------------------------------
+    def try_claim(self, op: int, cycle: int) -> bool:
+        """Claim a unit for ``op`` at ``cycle``; False if all are busy."""
+        fu, _lat, interval = FU_ASSIGNMENT[OpClass(op)]
+        units = self._units[int(fu)]
+        for i, free_at in enumerate(units):
+            if free_at <= cycle:
+                units[i] = cycle + interval
+                self.issued_per_class[int(fu)] += 1
+                return True
+        return False
+
+    def available(self, op: int, cycle: int) -> bool:
+        """Whether a unit could accept ``op`` at ``cycle`` (no claim)."""
+        fu = FU_ASSIGNMENT[OpClass(op)][0]
+        units = self._units[int(fu)]
+        return any(free_at <= cycle for free_at in units)
+
+    def reset(self) -> None:
+        """Mark every unit idle (watchdog flush)."""
+        for units in self._units.values():
+            for i in range(len(units)):
+                units[i] = 0

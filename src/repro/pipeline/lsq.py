@@ -1,0 +1,72 @@
+"""Per-thread load/store queue (48 entries per thread in the paper).
+
+Trace-driven simplifications (identical across all scheduler designs, so
+relative comparisons are unaffected):
+
+* effective addresses are known at rename (the trace carries them), so a
+  store becomes visible to forwarding as soon as it is renamed;
+* disambiguation is perfect — loads never wait for unknown store
+  addresses and never replay;
+* a load forwards when an *older* in-flight store of the same thread
+  matches its address exactly, taking the L1-hit path with no cache
+  access.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.dynamic import DynInstr
+
+
+class LoadStoreQueue:
+    """Occupancy tracking plus store-to-load forwarding for one thread."""
+
+    __slots__ = ("capacity", "count", "_stores", "forwards")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"LSQ capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        #: address -> per-address FIFO of store tseqs still in flight.
+        self._stores: dict[int, list[int]] = {}
+        self.forwards = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def full(self) -> bool:
+        """True when rename must stall a memory instruction."""
+        return self.count >= self.capacity
+
+    def allocate(self, instr: DynInstr) -> None:
+        """Reserve an entry at rename; stores become forwarding sources."""
+        if self.full:
+            raise RuntimeError("LSQ overflow (rename stage bug)")
+        self.count += 1
+        if instr.is_store:
+            self._stores.setdefault(instr.addr, []).append(instr.tseq)
+
+    def can_forward(self, instr: DynInstr) -> bool:
+        """Whether load ``instr`` hits an older in-flight store."""
+        seqs = self._stores.get(instr.addr)
+        if not seqs:
+            return False
+        if seqs[0] < instr.tseq:
+            self.forwards += 1
+            return True
+        return False
+
+    def release(self, instr: DynInstr) -> None:
+        """Free the entry at commit."""
+        self.count -= 1
+        if instr.is_store:
+            seqs = self._stores.get(instr.addr)
+            if seqs:
+                # Stores commit in program order, so the head is ours.
+                seqs.pop(0)
+                if not seqs:
+                    del self._stores[instr.addr]
+
+    def reset(self) -> None:
+        """Drop all state (watchdog flush)."""
+        self.count = 0
+        self._stores.clear()

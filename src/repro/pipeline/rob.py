@@ -1,0 +1,49 @@
+"""Per-thread reorder buffer (96 entries per thread in the paper)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.pipeline.dynamic import DynInstr
+
+
+class ReorderBuffer:
+    """In-order retirement window of one SMT thread."""
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ROB capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque[DynInstr] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no rename slot is available."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def head(self) -> DynInstr | None:
+        """Oldest in-flight instruction, or None when empty."""
+        return self._entries[0] if self._entries else None
+
+    def allocate(self, instr: DynInstr) -> None:
+        """Append ``instr`` at the tail (rename order)."""
+        if self.full:
+            raise RuntimeError("ROB overflow (rename stage bug)")
+        self._entries.append(instr)
+
+    def retire_head(self) -> DynInstr:
+        """Remove and return the (completed) head instruction."""
+        return self._entries.popleft()
+
+    def clear(self) -> None:
+        """Drop all entries (watchdog flush)."""
+        self._entries.clear()
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,552 @@
+"""The SMT processor cycle loop.
+
+Stages are evaluated back-to-front every cycle so same-cycle structural
+constraints resolve without moving an instruction through two stages in
+one cycle::
+
+    commit -> writeback events -> issue (select) -> dispatch -> rename -> fetch
+
+Timing model (see DESIGN.md §5):
+
+* an instruction fetched at cycle ``C`` reaches rename no earlier than
+  ``C + frontend_depth - 1`` (the 5-stage front end of Table 1);
+* a producer selected at cycle ``C`` with execution latency ``L`` wakes
+  its consumers at ``C + L`` (full bypass: back-to-back issue for
+  single-cycle ops) and retires-eligible at ``C + regread_stages + L``;
+* loads resolve their cache access at select time (the trace provides
+  the address), extending both wakeup and completion by the miss
+  penalty; store-to-load forwarding takes the L1-hit path;
+* branches resolve at completion; a misprediction stalls the thread's
+  fetch from prediction time until resolution + redirect penalty.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.config.machine import MachineConfig
+from repro.core.deadlock import DeadlockAvoidanceBuffer, WatchdogTimer
+from repro.core.iq import IssueQueue
+from repro.core.scheduler import make_dispatch_policy
+from repro.isa.opcodes import FU_ASSIGNMENT, OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.dynamic import DynInstr
+from repro.pipeline.fu import FunctionalUnitPool
+from repro.pipeline.stats import PipelineStats
+from repro.pipeline.thread import ThreadState
+from repro.rename.renamer import RenameUnit
+from repro.trace.generator import Trace
+
+#: Upper bound on ready-heap entries examined per select cycle. The FU
+#: pools of Table 1 are wide enough that deeper scans never issue more;
+#: bounding the scan keeps pathological cycles O(width).
+_SELECT_SCAN_LIMIT = 64
+
+#: Cycles without a single commit before the simulator declares itself
+#: wedged (a model bug — the deadlock-avoidance machinery should make
+#: this unreachable).
+_WEDGE_LIMIT = 250_000
+
+#: Period (power of two) of the HDI pile-up sampling (§4 statistic).
+_HDI_SAMPLE_MASK = 15
+
+
+class SMTProcessor:
+    """Cycle-level SMT core executing one trace per hardware thread."""
+
+    def __init__(self, cfg: MachineConfig, traces: list[Trace],
+                 warmup: int = 0) -> None:
+        if not traces:
+            raise ValueError("need at least one thread trace")
+        if warmup < 0 or any(warmup >= len(t) for t in traces):
+            raise ValueError(
+                f"warmup ({warmup}) must be non-negative and shorter than "
+                "every trace"
+            )
+        self.cfg = cfg
+        self.num_threads = len(traces)
+        self.renamer = RenameUnit(cfg, self.num_threads)
+        self.iq = IssueQueue(
+            cfg.iq_size, cfg.iq_comparators_per_entry, self.renamer.ready
+        )
+        self.policy = make_dispatch_policy(cfg)
+        self.dab: DeadlockAvoidanceBuffer | None = None
+        self.watchdog: WatchdogTimer | None = None
+        if self.policy.supports_ooo:
+            if cfg.deadlock_mode == "buffer":
+                self.dab = DeadlockAvoidanceBuffer(cfg.deadlock_buffer_size)
+            else:
+                self.watchdog = WatchdogTimer(cfg.watchdog_cycles)
+        self.hierarchy = MemoryHierarchy(cfg.mem)
+        self.fu = FunctionalUnitPool(cfg)
+        self.threads = [
+            ThreadState(tid, trace, cfg) for tid, trace in enumerate(traces)
+        ]
+        self.stats = PipelineStats(num_threads=self.num_threads)
+        from repro.frontend.fetch import FetchUnit
+
+        self.fetch_unit = FetchUnit(cfg)
+        self.cycle = 0
+        self._seq = 0
+        #: cycle -> physical registers becoming ready (wakeup broadcast).
+        self._wake_events: dict[int, list[int]] = {}
+        #: cycle -> instructions finishing execution (completion).
+        self._done_events: dict[int, list[DynInstr]] = {}
+        self._last_commit_cycle = 0
+        self._install_residency()
+        if warmup:
+            self._warm_up(warmup)
+        self.hierarchy.reset_stats()
+
+    # ------------------------------------------------------------------
+    # warmup
+    # ------------------------------------------------------------------
+    def _install_residency(self) -> None:
+        """Pre-touch each trace's steady-state resident lines (code and
+        data) so reduced-scale simulations do not start from pathological
+        all-cold caches; see ``Trace.warm_addrs``."""
+        hierarchy = self.hierarchy
+        for ts in self.threads:
+            for pc in ts.trace.warm_pcs:
+                hierarchy.access_inst(pc)
+            for addr in ts.trace.warm_addrs:
+                hierarchy.access_data(addr)
+
+    def _warm_up(self, warmup: int) -> None:
+        """Functionally replay the first ``warmup`` trace instructions of
+        each thread through the branch predictors and caches, then start
+        timing simulation after them.
+
+        The paper fast-forwards each benchmark to its SimPoint region
+        before measuring, so its tables/figures describe *warm*
+        microarchitectural state; at the reduced instruction budgets of a
+        pure-Python reproduction, cold predictors and caches would
+        otherwise dominate every number (see DESIGN.md §2).
+        """
+        branch_op = int(OpClass.BRANCH)
+        load_op = int(OpClass.LOAD)
+        store_op = int(OpClass.STORE)
+        line_shift = self.cfg.mem.l1i.line_bytes.bit_length() - 1
+        for ts in self.threads:
+            trace = ts.trace
+            predictor = ts.predictor
+            hierarchy = self.hierarchy
+            ops = trace.op
+            pcs = trace.pc
+            last_block = -1
+            for i in range(warmup):
+                pc = pcs[i]
+                block = pc >> line_shift
+                if block != last_block:
+                    hierarchy.access_inst(pc)
+                    last_block = block
+                op = ops[i]
+                if op == branch_op:
+                    pred = predictor.predict(
+                        pc, trace.taken[i], trace.target[i]
+                    )
+                    predictor.resolve(
+                        pc, trace.taken[i], trace.target[i], pred
+                    )
+                elif op == load_op or op == store_op:
+                    hierarchy.access_data(trace.addr[i])
+            ts.fetch_idx = warmup
+            predictor.branches = 0
+            predictor.mispredicts = 0
+            predictor.gshare.lookups = 0
+            predictor.gshare.hits = 0
+            predictor.btb.lookups = 0
+            predictor.btb.hits = 0
+
+    # ------------------------------------------------------------------
+    # instruction factory
+    # ------------------------------------------------------------------
+    def new_instr(self, ts: ThreadState, idx: int, cycle: int) -> DynInstr:
+        """Materialise trace instruction ``idx`` of thread ``ts``."""
+        trace = ts.trace
+        instr = DynInstr(
+            tid=ts.tid,
+            seq=self._seq,
+            tseq=idx,
+            op=trace.op[idx],
+            pc=trace.pc[idx],
+            addr=trace.addr[idx],
+            taken=trace.taken[idx],
+            target=trace.target[idx],
+            dest_l=trace.dest[idx],
+            src1_l=trace.src1[idx],
+            src2_l=trace.src2[idx],
+            fetch_cycle=cycle,
+        )
+        self._seq += 1
+        return instr
+
+    def _rotation(self, cycle: int) -> list[ThreadState]:
+        n = self.num_threads
+        if n == 1:
+            return self.threads
+        start = cycle % n
+        threads = self.threads
+        return [threads[(start + i) % n] for i in range(n)]
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def _commit(self, cycle: int) -> None:
+        budget = self.cfg.commit_width
+        stats = self.stats
+        for ts in self._rotation(cycle):
+            if budget <= 0:
+                break
+            rob = ts.rob
+            while budget > 0:
+                head = rob.head
+                if head is None or not head.completed:
+                    break
+                rob.retire_head()
+                self.renamer.release(head.old_dest_p)
+                if head.is_load or head.is_store:
+                    ts.lsq.release(head)
+                    if head.is_store:
+                        # Retirement write; timing charged at issue already.
+                        self.hierarchy.access_data(head.addr)
+                ts.committed += 1
+                stats.committed[ts.tid] += 1
+                stats.committed_total += 1
+                budget -= 1
+                self._last_commit_cycle = cycle
+
+    def _apply_events(self, cycle: int) -> None:
+        wakes = self._wake_events.pop(cycle, None)
+        if wakes:
+            ready = self.renamer.ready
+            wakeup = self.iq.wakeup
+            for p in wakes:
+                ready[p] = 1
+                wakeup(p)
+        dones = self._done_events.pop(cycle, None)
+        if dones:
+            for instr in dones:
+                instr.completed = True
+                instr.complete_cycle = cycle
+                if instr.long_miss:
+                    self.threads[instr.tid].pending_long_misses -= 1
+                if instr.is_branch:
+                    ts = self.threads[instr.tid]
+                    ts.predictor.resolve(
+                        instr.pc, instr.taken, instr.target, instr.prediction
+                    )
+                    if instr.mispredicted and ts.wait_branch is instr:
+                        ts.wait_branch = None
+                        ts.stalled_until = max(
+                            ts.stalled_until,
+                            cycle + self.cfg.mispredict_redirect_penalty,
+                        )
+
+    def _start_execution(self, instr: DynInstr, cycle: int,
+                         from_iq: bool) -> None:
+        instr.issued = True
+        instr.issue_cycle = cycle
+        ts = self.threads[instr.tid]
+        ts.icount -= 1
+        stats = self.stats
+        stats.issued += 1
+        if from_iq:
+            stats.iq_residency_sum += cycle - instr.dispatch_cycle
+            stats.iq_residency_count += 1
+        latency = FU_ASSIGNMENT[OpClass(instr.op)][1]
+        extra = 0
+        if instr.is_load:
+            if ts.lsq.can_forward(instr):
+                instr.forwarded = True
+            else:
+                extra = self.hierarchy.access_data(instr.addr).extra_latency
+                if extra >= self.cfg.mem.memory_latency:
+                    instr.long_miss = True
+                    ts.pending_long_misses += 1
+        wake_at = cycle + latency + extra
+        done_at = wake_at + self.cfg.regread_stages
+        if instr.dest_p >= 0:
+            bucket = self._wake_events.get(wake_at)
+            if bucket is None:
+                self._wake_events[wake_at] = [instr.dest_p]
+            else:
+                bucket.append(instr.dest_p)
+        bucket = self._done_events.get(done_at)
+        if bucket is None:
+            self._done_events[done_at] = [instr]
+        else:
+            bucket.append(instr)
+
+    def _issue(self, cycle: int) -> None:
+        budget = self.cfg.issue_width
+        fu = self.fu
+        dab = self.dab
+        if dab is not None and dab.entries:
+            # Deadlock-avoidance instructions take precedence (§4); their
+            # sources are ready by construction.
+            remaining: list[DynInstr] = []
+            for instr in dab.entries:
+                if budget > 0 and fu.try_claim(instr.op, cycle):
+                    instr.in_dab = False
+                    budget -= 1
+                    self.stats.dab_issues += 1
+                    self._start_execution(instr, cycle, from_iq=False)
+                else:
+                    remaining.append(instr)
+            dab.entries = remaining
+            if self.cfg.dab_exclusive and dab.entries:
+                # Paper §4 simple arbitration: while the deadlock buffer
+                # is occupied, IQ selection is disabled this cycle.
+                return
+        if budget <= 0:
+            return
+        iq = self.iq
+        heap = iq.ready_heap
+        deferred: list[tuple[int, DynInstr]] = []
+        scanned = 0
+        while heap and budget > 0 and scanned < _SELECT_SCAN_LIMIT:
+            item = heappop(heap)
+            instr = item[1]
+            scanned += 1
+            if not instr.in_iq:
+                continue
+            if fu.try_claim(instr.op, cycle):
+                iq.remove_on_issue(instr)
+                budget -= 1
+                self._start_execution(instr, cycle, from_iq=True)
+            else:
+                deferred.append(item)
+        for item in deferred:
+            heappush(heap, item)
+
+    def _dispatch(self, cycle: int) -> None:
+        budget = self.cfg.dispatch_width
+        total = 0
+        threads = self.threads
+        for ts in threads:
+            ts.blocked_2op = False
+        order = self._rotation(cycle)
+        policy = self.policy
+        for ts in order:
+            if budget <= 0:
+                break
+            n = policy.dispatch_thread(self, ts, cycle, budget)
+            budget -= n
+            total += n
+        dab = self.dab
+        if dab is not None and self.iq.free_slots == 0:
+            # Paper §4: an instruction that is ROB-oldest and denied an IQ
+            # entry moves to the deadlock-avoidance buffer.
+            for ts in order:
+                if not dab.has_space:
+                    break
+                buf = ts.dispatch_buffer
+                if buf and ts.rob.head is buf[0]:
+                    instr = buf.pop(0)
+                    dab.insert(instr, cycle)
+                    self.stats.dab_inserts += 1
+                    total += 1
+        stats = self.stats
+        stats.dispatched += total
+        for ts in threads:
+            if ts.blocked_2op:
+                stats.blocked_2op_cycles[ts.tid] += 1
+        if total == 0:
+            # Attribute the stall to the 2OP restriction only for threads
+            # that could otherwise make forward progress: a thread whose
+            # ROB is already full is window-saturated and would stall
+            # under the traditional scheduler as well, so leftover NDIs
+            # in its buffer are not the cause (paper §3 statistic).
+            nonempty = [ts for ts in threads if ts.dispatch_buffer]
+            relevant = [ts for ts in nonempty if not ts.rob.full]
+            if nonempty:
+                stats.no_dispatch_cycles += 1
+            if relevant:
+                if all(
+                    ts.blocked_2op or policy.scan_blocked(self, ts)
+                    for ts in relevant
+                ):
+                    stats.all_blocked_2op_cycles += 1
+                elif self.iq.free_slots == 0:
+                    stats.iq_full_dispatch_stalls += 1
+        if policy.needs_reduced_iq and (cycle & _HDI_SAMPLE_MASK) == 0:
+            self._sample_hdi()
+        watchdog = self.watchdog
+        if watchdog is not None:
+            if total:
+                watchdog.note_dispatch()
+            elif any(len(ts.rob) for ts in threads):
+                if watchdog.tick():
+                    self._flush_all(cycle)
+
+    def _sample_hdi(self) -> None:
+        """Sample the §4 statistic: of the instructions piled up behind
+        the first NDI of each thread, how many are themselves
+        dispatchable (HDIs)?"""
+        iq = self.iq
+        stats = self.stats
+        for ts in self.threads:
+            buf = ts.dispatch_buffer
+            first_ndi = -1
+            for i, instr in enumerate(buf):
+                if len(iq.nonready_sources(instr)) >= 2:
+                    first_ndi = i
+                    break
+            if first_ndi < 0:
+                continue
+            for instr in buf[first_ndi + 1:]:
+                stats.hdi_piled_samples += 1
+                if len(iq.nonready_sources(instr)) < 2:
+                    stats.hdi_piled_dispatchable += 1
+
+    def _rename(self, cycle: int) -> None:
+        budget = self.cfg.decode_width
+        renamer = self.renamer
+        depth = self.cfg.dispatch_buffer_depth
+        stats = self.stats
+        for ts in self._rotation(cycle + 1):
+            if budget <= 0:
+                break
+            pipe = ts.pipe
+            buf = ts.dispatch_buffer
+            rob = ts.rob
+            lsq = ts.lsq
+            while budget > 0 and pipe and pipe[0][0] <= cycle:
+                if len(buf) >= depth or rob.full:
+                    break
+                instr = pipe[0][1]
+                if (instr.is_load or instr.is_store) and lsq.full:
+                    break
+                if not renamer.can_rename(ts.tid, instr.dest_l):
+                    break
+                pipe.popleft()
+                d, old, s1, s2 = renamer.rename(
+                    ts.tid, instr.dest_l, instr.src1_l, instr.src2_l
+                )
+                instr.dest_p = d
+                instr.old_dest_p = old
+                instr.src1_p = s1
+                instr.src2_p = s2
+                instr.rename_cycle = cycle
+                rob.allocate(instr)
+                if instr.is_load or instr.is_store:
+                    lsq.allocate(instr)
+                buf.append(instr)
+                budget -= 1
+                stats.renamed += 1
+
+    def _flush_all(self, cycle: int) -> None:
+        """Watchdog recovery: squash everything in flight and refetch
+        from each thread's oldest uncommitted instruction."""
+        resume = cycle + 1
+        for ts in self.threads:
+            ts.flush_inflight(resume)
+        self.iq.reset()
+        if self.dab is not None:
+            self.dab.clear()
+        self._wake_events.clear()
+        self._done_events.clear()
+        self.fu.reset()
+        self.renamer.reset()
+        self.stats.watchdog_flushes += 1
+
+    # ------------------------------------------------------------------
+    # invariants (used by the test suite; not called on the hot path)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check cross-structure invariants; raises ``AssertionError``.
+
+        Intended for tests and debugging — it walks every in-flight
+        instruction, so it is far too slow to run per cycle in
+        experiments.
+        """
+        in_iq = 0
+        for ts in self.threads:
+            pipe_n = len(ts.pipe)
+            buf_n = len(ts.dispatch_buffer)
+            iq_n = sum(1 for instr in ts.rob if instr.in_iq)
+            dab_n = sum(1 for instr in ts.rob if instr.in_dab)
+            in_iq += iq_n
+            assert ts.icount == pipe_n + buf_n + iq_n + dab_n, (
+                f"thread {ts.tid}: icount {ts.icount} != "
+                f"{pipe_n}+{buf_n}+{iq_n}+{dab_n}"
+            )
+            assert len(ts.rob) <= ts.rob.capacity
+            assert ts.lsq.count <= ts.lsq.capacity
+            for instr in ts.dispatch_buffer:
+                assert not instr.in_iq and not instr.issued, (
+                    f"buffered instruction already scheduled: {instr!r}"
+                )
+            prev = -1
+            for instr in ts.rob:
+                assert instr.tseq > prev, "ROB out of program order"
+                prev = instr.tseq
+        assert in_iq == self.iq.occupancy, (
+            f"IQ occupancy {self.iq.occupancy} != {in_iq} in-flight entries"
+        )
+        for tag, waiters in self.iq.waiting.items():
+            for instr in waiters:
+                if instr.in_iq:
+                    assert instr.num_waiting > 0, (
+                        f"IQ entry waits on ready tag {tag}: {instr!r}"
+                    )
+        if self.dab is not None:
+            assert len(self.dab.entries) <= self.dab.size
+            for instr in self.dab.entries:
+                assert instr.in_dab and not instr.issued
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        cycle = self.cycle
+        self._commit(cycle)
+        self._apply_events(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self._rename(cycle)
+        self.fetch_unit.fetch_cycle(self, cycle)
+        self.iq.tick()
+        self.stats.cycles += 1
+        self.cycle = cycle + 1
+
+    def run(self, max_insns: int, max_cycles: int = 5_000_000,
+            ) -> PipelineStats:
+        """Simulate until any thread commits ``max_insns`` instructions
+        (the paper's stopping rule), every trace drains, or ``max_cycles``
+        elapse. Returns the finalised statistics block."""
+        if max_insns <= 0:
+            raise ValueError(f"max_insns must be positive, got {max_insns}")
+        threads = self.threads
+        while self.cycle < max_cycles:
+            self.step()
+            if self.cycle - self._last_commit_cycle > _WEDGE_LIMIT:
+                raise RuntimeError(
+                    f"no commits for {_WEDGE_LIMIT} cycles at cycle "
+                    f"{self.cycle} — scheduler deadlock (model bug)"
+                )
+            done = False
+            for ts in threads:
+                if ts.committed >= max_insns:
+                    done = True
+                    break
+            if done or all(ts.drained for ts in threads):
+                break
+        self._finalize()
+        return self.stats
+
+    def _finalize(self) -> None:
+        stats = self.stats
+        stats.iq_occupancy_integral = self.iq.occupancy_integral
+        for ts in self.threads:
+            stats.branch_lookups += ts.predictor.branches
+            stats.branch_mispredicts += ts.predictor.mispredicts
+            stats.store_forwards += ts.lsq.forwards
+        stats.l1d_accesses = self.hierarchy.l1d.accesses
+        stats.l1d_misses = self.hierarchy.l1d.misses
+        stats.l2_accesses = self.hierarchy.l2.accesses
+        stats.l2_misses = self.hierarchy.l2.misses
+        if self.dab is not None:
+            stats.dab_inserts = self.dab.inserts

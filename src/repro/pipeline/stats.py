@@ -1,0 +1,143 @@
+"""Pipeline statistics counters.
+
+Counters are grouped by the paper statistic they feed:
+
+* throughput / fairness — per-thread committed counts and total cycles;
+* §3 stall analysis — ``all_blocked_2op_cycles`` (percentage of cycles
+  in which *every* thread with buffered instructions is blocked by the
+  2OP restriction and nothing dispatches);
+* §4 HDI analysis — periodic samples of instructions piled up behind the
+  first NDI of each blocked thread, plus per-dispatch counts of
+  out-of-order dispatches and their NDI dependence;
+* §5 residency — cycles spent in the IQ between dispatch and issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class PipelineStats:
+    """Mutable counter block owned by one :class:`SMTProcessor`."""
+
+    num_threads: int = 1
+
+    # -- global ----------------------------------------------------------
+    cycles: int = 0
+    fetched: int = 0
+    renamed: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    committed_total: int = 0
+
+    # -- per thread -------------------------------------------------------
+    committed: list[int] = field(default_factory=list)
+    fetched_per_thread: list[int] = field(default_factory=list)
+    blocked_2op_cycles: list[int] = field(default_factory=list)
+
+    # -- dispatch-stall analysis (paper §3) --------------------------------
+    all_blocked_2op_cycles: int = 0
+    no_dispatch_cycles: int = 0
+    iq_full_dispatch_stalls: int = 0
+
+    # -- out-of-order dispatch analysis (paper §4) --------------------------
+    ooo_dispatched: int = 0
+    ooo_ndi_dependent: int = 0
+    hdi_piled_samples: int = 0
+    hdi_piled_dispatchable: int = 0
+    dab_inserts: int = 0
+    dab_issues: int = 0
+    watchdog_flushes: int = 0
+
+    # -- issue-queue behaviour (paper §5) -----------------------------------
+    iq_residency_sum: int = 0
+    iq_residency_count: int = 0
+    iq_occupancy_integral: int = 0
+
+    # -- memory / branch (filled from substrates at the end of a run) -------
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    store_forwards: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.committed:
+            self.committed = [0] * self.num_threads
+        if not self.fetched_per_thread:
+            self.fetched_per_thread = [0] * self.num_threads
+        if not self.blocked_2op_cycles:
+            self.blocked_2op_cycles = [0] * self.num_threads
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_ipc(self) -> float:
+        """Total commit IPC across all threads."""
+        return self.committed_total / self.cycles if self.cycles else 0.0
+
+    @property
+    def per_thread_ipc(self) -> list[float]:
+        """Commit IPC of each thread."""
+        if not self.cycles:
+            return [0.0] * self.num_threads
+        return [c / self.cycles for c in self.committed]
+
+    @property
+    def all_blocked_2op_fraction(self) -> float:
+        """Fraction of cycles with every thread 2OP-blocked (§3/§5 stat)."""
+        return self.all_blocked_2op_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_iq_residency(self) -> float:
+        """Average cycles an instruction waits in the IQ before issue."""
+        if not self.iq_residency_count:
+            return 0.0
+        return self.iq_residency_sum / self.iq_residency_count
+
+    @property
+    def mean_iq_occupancy(self) -> float:
+        """Average number of occupied IQ entries per cycle."""
+        return self.iq_occupancy_integral / self.cycles if self.cycles else 0.0
+
+    @property
+    def hdi_fraction(self) -> float:
+        """Measured fraction of piled-up instructions that are HDIs (§4)."""
+        if not self.hdi_piled_samples:
+            return 0.0
+        return self.hdi_piled_dispatchable / self.hdi_piled_samples
+
+    @property
+    def ooo_ndi_dependent_fraction(self) -> float:
+        """Fraction of OOO-dispatched HDIs depending on a prior NDI (§4)."""
+        if not self.ooo_dispatched:
+            return 0.0
+        return self.ooo_ndi_dependent / self.ooo_dispatched
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        """Dynamic branch misprediction rate."""
+        if not self.branch_lookups:
+            return 0.0
+        return self.branch_mispredicts / self.branch_lookups
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary used by reports and tests."""
+        return {
+            "cycles": self.cycles,
+            "committed_total": self.committed_total,
+            "throughput_ipc": self.throughput_ipc,
+            "all_blocked_2op_fraction": self.all_blocked_2op_fraction,
+            "mean_iq_residency": self.mean_iq_residency,
+            "mean_iq_occupancy": self.mean_iq_occupancy,
+            "hdi_fraction": self.hdi_fraction,
+            "ooo_dispatched": self.ooo_dispatched,
+            "ooo_ndi_dependent_fraction": self.ooo_ndi_dependent_fraction,
+            "dab_inserts": self.dab_inserts,
+            "watchdog_flushes": self.watchdog_flushes,
+            "branch_mispredict_rate": self.branch_mispredict_rate,
+            "store_forwards": self.store_forwards,
+        }

@@ -1,0 +1,105 @@
+"""Per-thread pipeline state.
+
+The paper's SMT model shares the IQ, physical registers, execution units
+and caches across threads but gives each thread its own program counter,
+rename table, load/store queue, reorder buffer and branch predictor —
+``ThreadState`` is the per-thread half of that split.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.branch.predictor import ThreadPredictor
+from repro.config.machine import MachineConfig
+from repro.pipeline.dynamic import DynInstr
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.rob import ReorderBuffer
+from repro.trace.generator import Trace
+
+
+class ThreadState:
+    """All per-thread structures of one SMT hardware context."""
+
+    __slots__ = (
+        "tid",
+        "trace",
+        "trace_len",
+        "fetch_idx",
+        "pipe",
+        "pipe_capacity",
+        "dispatch_buffer",
+        "rob",
+        "lsq",
+        "predictor",
+        "icount",
+        "stalled_until",
+        "wait_branch",
+        "blocked_2op",
+        "committed",
+        "pending_long_misses",
+    )
+
+    def __init__(self, tid: int, trace: Trace, cfg: MachineConfig) -> None:
+        self.tid = tid
+        self.trace = trace
+        self.trace_len = len(trace)
+        self.fetch_idx = 0
+        #: (pipe-exit cycle, instr) FIFO modelling the front-end stages
+        #: between fetch and rename.
+        self.pipe: deque[tuple[int, DynInstr]] = deque()
+        self.pipe_capacity = cfg.frontend_depth * cfg.fetch_width
+        #: renamed instructions awaiting dispatch (program order).
+        self.dispatch_buffer: list[DynInstr] = []
+        self.rob = ReorderBuffer(cfg.rob_size)
+        self.lsq = LoadStoreQueue(cfg.lsq_size)
+        self.predictor = ThreadPredictor(cfg.bp)
+        self.icount = 0
+        self.stalled_until = 0
+        self.wait_branch: DynInstr | None = None
+        self.blocked_2op = False
+        self.committed = 0
+        #: loads currently outstanding to main memory (STALL fetch gate).
+        self.pending_long_misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True once the thread's trace is fully fetched."""
+        return self.fetch_idx >= self.trace_len
+
+    @property
+    def drained(self) -> bool:
+        """True when no instruction of this thread is in flight."""
+        return (
+            self.exhausted
+            and not self.pipe
+            and not self.dispatch_buffer
+            and len(self.rob) == 0
+        )
+
+    def flush_inflight(self, resume_cycle: int) -> int:
+        """Squash all in-flight instructions (watchdog recovery).
+
+        Returns the trace index fetch must resume from (the oldest
+        squashed instruction), and resets all per-thread pipeline state.
+        """
+        oldest = self.fetch_idx
+        head = self.rob.head
+        if head is not None:
+            oldest = head.tseq
+        elif self.pipe:
+            oldest = min(oldest, self.pipe[0][1].tseq)
+        if self.dispatch_buffer:
+            oldest = min(oldest, self.dispatch_buffer[0].tseq)
+        self.fetch_idx = oldest
+        self.pipe.clear()
+        self.dispatch_buffer = []
+        self.rob.clear()
+        self.lsq.reset()
+        self.icount = 0
+        self.wait_branch = None
+        self.blocked_2op = False
+        self.pending_long_misses = 0
+        self.stalled_until = resume_cycle
+        return oldest

@@ -1,0 +1,7 @@
+"""Register renaming: per-thread map tables, shared physical registers."""
+
+from repro.rename.free_list import FreeList
+from repro.rename.map_table import RenameMapTable
+from repro.rename.renamer import RenameUnit
+
+__all__ = ["FreeList", "RenameMapTable", "RenameUnit"]

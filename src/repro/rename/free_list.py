@@ -1,0 +1,42 @@
+"""Free list of physical registers (one per register class)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FreeList:
+    """FIFO free list over a contiguous range of physical registers."""
+
+    __slots__ = ("_free", "_base", "_limit")
+
+    def __init__(self, base: int, count: int) -> None:
+        if count <= 0:
+            raise ValueError(f"free list needs at least one register, got {count}")
+        self._base = base
+        self._limit = base + count
+        self._free: deque[int] = deque(range(base, base + count))
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        """Total registers managed (free + allocated)."""
+        return self._limit - self._base
+
+    def allocate(self) -> int:
+        """Pop a free physical register; raises ``IndexError`` when empty."""
+        return self._free.popleft()
+
+    def release(self, reg: int) -> None:
+        """Return a register to the pool."""
+        if not self._base <= reg < self._limit:
+            raise ValueError(
+                f"register {reg} outside pool [{self._base}, {self._limit})"
+            )
+        self._free.append(reg)
+
+    def owns(self, reg: int) -> bool:
+        """True when ``reg`` belongs to this pool's range."""
+        return self._base <= reg < self._limit

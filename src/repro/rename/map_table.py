@@ -1,0 +1,39 @@
+"""Per-thread rename map table (logical -> physical register)."""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_LOGICAL_REGS, is_zero_reg
+
+#: Physical-register id meaning "no dependence" (zero registers,
+#: immediates). Always ready.
+NO_PREG = -1
+
+
+class RenameMapTable:
+    """Architectural-to-physical mapping for one SMT thread.
+
+    Zero registers are pinned to :data:`NO_PREG` and may not be remapped.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self) -> None:
+        self._map: list[int] = [NO_PREG] * NUM_LOGICAL_REGS
+
+    def lookup(self, logical: int) -> int:
+        """Current physical mapping of ``logical`` (``NO_PREG`` if none)."""
+        if logical < 0:
+            return NO_PREG
+        return self._map[logical]
+
+    def remap(self, logical: int, phys: int) -> int:
+        """Point ``logical`` at ``phys``; returns the previous mapping."""
+        if is_zero_reg(logical):
+            raise ValueError(f"cannot remap zero register {logical}")
+        old = self._map[logical]
+        self._map[logical] = phys
+        return old
+
+    def mappings(self) -> list[int]:
+        """Snapshot of the full table (for tests and flush logic)."""
+        return list(self._map)

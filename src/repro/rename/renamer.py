@@ -1,0 +1,123 @@
+"""The rename unit: shared physical register file + per-thread tables.
+
+Matches the paper's SMT model: "the threads share ... the pool of
+physical registers ... but have separate rename tables". Renaming is
+always in program order within a thread — the paper's out-of-order
+*dispatch* explicitly keeps renaming in order, which is what makes it
+deadlock-safe for dependences.
+"""
+
+from __future__ import annotations
+
+from repro.config.machine import MachineConfig
+from repro.isa.registers import FP_BASE, NO_REG, is_zero_reg
+from repro.rename.free_list import FreeList
+from repro.rename.map_table import NO_PREG, RenameMapTable
+
+
+class RenameUnit:
+    """Allocates physical registers and tracks operand readiness.
+
+    The ready scoreboard is shared with the issue queue: entry ``p`` of
+    :attr:`ready` is 1 when physical register ``p`` holds its final
+    value. ``NO_PREG`` sources are ready by definition.
+    """
+
+    __slots__ = ("cfg", "num_threads", "int_free", "fp_free", "maps", "ready")
+
+    def __init__(self, cfg: MachineConfig, num_threads: int) -> None:
+        self.cfg = cfg
+        self.num_threads = num_threads
+        total = cfg.int_phys_regs + cfg.fp_phys_regs
+        self.int_free = FreeList(0, cfg.int_phys_regs)
+        self.fp_free = FreeList(cfg.int_phys_regs, cfg.fp_phys_regs)
+        self.ready = bytearray(total)
+        self.maps = [RenameMapTable() for _ in range(num_threads)]
+        self._install_initial_mappings()
+
+    def _install_initial_mappings(self) -> None:
+        """Give every writable logical register an initial (ready) mapping."""
+        from repro.isa.registers import NUM_LOGICAL_REGS
+
+        needed_int = sum(
+            1 for r in range(FP_BASE) if not is_zero_reg(r)
+        ) * self.num_threads
+        needed_fp = sum(
+            1 for r in range(FP_BASE, NUM_LOGICAL_REGS) if not is_zero_reg(r)
+        ) * self.num_threads
+        if needed_int >= self.cfg.int_phys_regs:
+            raise ValueError(
+                f"{self.cfg.int_phys_regs} integer physical registers cannot "
+                f"back {self.num_threads} threads ({needed_int} architectural "
+                "mappings, plus in-flight headroom)"
+            )
+        if needed_fp >= self.cfg.fp_phys_regs:
+            raise ValueError(
+                f"{self.cfg.fp_phys_regs} FP physical registers cannot back "
+                f"{self.num_threads} threads ({needed_fp} architectural "
+                "mappings, plus in-flight headroom)"
+            )
+        for table in self.maps:
+            for logical in range(NUM_LOGICAL_REGS):
+                if is_zero_reg(logical):
+                    continue
+                pool = self.fp_free if logical >= FP_BASE else self.int_free
+                phys = pool.allocate()
+                table.remap(logical, phys)
+                self.ready[phys] = 1
+
+    # ------------------------------------------------------------------
+    def can_rename(self, tid: int, dest: int) -> bool:
+        """True when a destination register (if any) can be allocated."""
+        if dest == NO_REG or is_zero_reg(dest):
+            return True
+        pool = self.fp_free if dest >= FP_BASE else self.int_free
+        return len(pool) > 0
+
+    def rename(self, tid: int, dest: int, src1: int, src2: int,
+               ) -> tuple[int, int, int, int]:
+        """Rename one instruction of thread ``tid``.
+
+        Returns ``(dest_p, old_dest_p, src1_p, src2_p)``. The new
+        destination register is marked not-ready. The caller must check
+        :meth:`can_rename` first; running out of registers here raises.
+        """
+        table = self.maps[tid]
+        src1_p = NO_PREG if src1 == NO_REG or is_zero_reg(src1) \
+            else table.lookup(src1)
+        src2_p = NO_PREG if src2 == NO_REG or is_zero_reg(src2) \
+            else table.lookup(src2)
+        if dest == NO_REG or is_zero_reg(dest):
+            return NO_PREG, NO_PREG, src1_p, src2_p
+        pool = self.fp_free if dest >= FP_BASE else self.int_free
+        dest_p = pool.allocate()
+        self.ready[dest_p] = 0
+        old = table.remap(dest, dest_p)
+        return dest_p, old, src1_p, src2_p
+
+    # ------------------------------------------------------------------
+    def is_ready(self, phys: int) -> bool:
+        """Readiness of a physical register (``NO_PREG`` is ready)."""
+        return phys < 0 or bool(self.ready[phys])
+
+    def mark_ready(self, phys: int) -> None:
+        """Set the ready bit (writeback)."""
+        if phys >= 0:
+            self.ready[phys] = 1
+
+    def release(self, phys: int) -> None:
+        """Return a physical register to its free list (commit time)."""
+        if phys < 0:
+            return
+        pool = self.fp_free if self.fp_free.owns(phys) else self.int_free
+        pool.release(phys)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reinitialise all state (used by the watchdog pipeline flush)."""
+        total = self.cfg.int_phys_regs + self.cfg.fp_phys_regs
+        self.int_free = FreeList(0, self.cfg.int_phys_regs)
+        self.fp_free = FreeList(self.cfg.int_phys_regs, self.cfg.fp_phys_regs)
+        self.ready = bytearray(total)
+        self.maps = [RenameMapTable() for _ in range(self.num_threads)]
+        self._install_initial_mappings()

@@ -1,0 +1,290 @@
+"""Statistical profiles of the 26 SPEC CPU2000 benchmarks.
+
+Each profile parameterises the synthetic trace generator. The numbers
+are not measurements of the original binaries (unavailable offline); they
+are plausible values chosen so that
+
+* integer programs issue no FP operations and vice versa dominate,
+* memory-bound programs (the paper's **low ILP** class) have data
+  footprints far exceeding the 2 MB L2 and short dependence distances,
+* execution-bound programs (**high ILP**) fit their working set in the
+  cache hierarchy and expose long dependence distances,
+* the single-thread ILP classification produced by
+  :mod:`repro.trace.classify` on the paper's Table 1 machine matches the
+  class labels used in the paper's workload tables (Tables 2–4).
+
+The ILP class recorded here is the *target* label; the classifier
+recomputes it from simulation and the test suite asserts agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpClass
+from repro.util.validate import check_positive, check_range
+
+#: Canonical ILP class labels.
+ILP_CLASSES = ("low", "med", "high")
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkProfile:
+    """Generator parameters for one synthetic benchmark.
+
+    Attributes:
+        name: SPEC program name (e.g. ``"gzip"``).
+        suite: ``"int"`` or ``"fp"``.
+        ilp_class: target classification (``low`` = memory bound,
+            ``high`` = execution bound) per the paper's Tables 2–4.
+        mix: fraction of dynamic instructions per :class:`OpClass`
+            (must sum to 1).
+        frac_two_src: probability that an ALU/FP operation carries a
+            second register source operand.
+        dep_mean: mean register dependence distance, in dynamic
+            instructions, between a consumer and its producer (geometric
+            distribution, clamped to the live-register window).
+        footprint_kb: data working-set size in KiB.
+        seq_frac: fraction of memory references that follow sequential
+            stride streams (cache friendly); the rest are uniform over
+            the footprint.
+        pointer_chase: fraction of loads whose address register is
+            produced by the immediately preceding load (serial chains,
+            typical of pointer codes like mcf/parser/twolf).
+        branch_predictability: probability a dynamic branch follows its
+            static site's dominant direction; sets the achievable gshare
+            accuracy.
+        code_kb: instruction footprint in KiB (drives L1I behaviour).
+        fp_load_frac: fraction of loads writing an FP register.
+        hot_frac: fraction of non-stream memory references hitting an
+            L1-resident hot set (temporal locality); the remainder are
+            uniform over the full footprint.
+        far_src_frac: probability that a register source refers to a
+            long-lived, long-ago-produced value (stack/global base
+            pointers, loop invariants, immediates materialised earlier)
+            rather than a recent producer. Such operands are essentially
+            always ready at dispatch — they are what makes most
+            instructions *hidden dispatchable* rather than NDIs when a
+            thread stalls (paper §4 measures ~90 % HDIs).
+        strands: number of independent dependence strands interleaved in
+            the instruction stream (parallel loop iterations, unrelated
+            expression trees). A long-latency miss stalls only its own
+            strand; the other strands keep supplying dispatchable
+            instructions. Low-ILP programs have few strands, high-ILP
+            many — this is the primary ILP knob.
+    """
+
+    name: str
+    suite: str
+    ilp_class: str
+    mix: dict[OpClass, float]
+    frac_two_src: float
+    dep_mean: float
+    footprint_kb: int
+    seq_frac: float
+    pointer_chase: float
+    branch_predictability: float
+    code_kb: int = 64
+    fp_load_frac: float = 0.0
+    hot_frac: float = 0.85
+    far_src_frac: float = 0.10
+    strands: int = 4
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"suite must be 'int' or 'fp', got {self.suite!r}")
+        if self.ilp_class not in ILP_CLASSES:
+            raise ValueError(
+                f"ilp_class must be one of {ILP_CLASSES}, got {self.ilp_class!r}"
+            )
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: mix sums to {total}, expected 1.0")
+        for frac in self.mix.values():
+            check_range("mix fraction", frac, 0.0, 1.0)
+        check_range("frac_two_src", self.frac_two_src, 0.0, 1.0)
+        check_positive("dep_mean", self.dep_mean)
+        check_positive("footprint_kb", self.footprint_kb)
+        check_range("seq_frac", self.seq_frac, 0.0, 1.0)
+        check_range("pointer_chase", self.pointer_chase, 0.0, 1.0)
+        check_range(
+            "branch_predictability", self.branch_predictability, 0.5, 1.0
+        )
+        check_positive("code_kb", self.code_kb)
+        check_range("fp_load_frac", self.fp_load_frac, 0.0, 1.0)
+        check_range("hot_frac", self.hot_frac, 0.0, 1.0)
+        check_range("far_src_frac", self.far_src_frac, 0.0, 1.0)
+        check_range("strands", self.strands, 1, 8)
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity covering *all* generator-relevant fields.
+
+        Used as the trace-cache key so two profiles that merely share a
+        name (e.g. ablation variants) never alias each other's traces.
+        """
+        return (
+            self.name,
+            self.suite,
+            tuple(sorted((int(op), frac) for op, frac in self.mix.items())),
+            self.frac_two_src,
+            self.dep_mean,
+            self.footprint_kb,
+            self.seq_frac,
+            self.pointer_chase,
+            self.branch_predictability,
+            self.code_kb,
+            self.fp_load_frac,
+            self.hot_frac,
+            self.far_src_frac,
+            self.strands,
+        )
+
+
+def _int_mix(load: float, store: float, branch: float,
+             imul: float = 0.01, idiv: float = 0.002) -> dict[OpClass, float]:
+    """Integer-program mix; the remainder is plain integer ALU work."""
+    ialu = 1.0 - (load + store + branch + imul + idiv)
+    if ialu < 0:
+        raise ValueError("integer mix fractions exceed 1")
+    return {
+        OpClass.IALU: ialu,
+        OpClass.IMUL: imul,
+        OpClass.IDIV: idiv,
+        OpClass.LOAD: load,
+        OpClass.STORE: store,
+        OpClass.BRANCH: branch,
+    }
+
+
+def _fp_mix(load: float, store: float, branch: float, fpadd: float,
+            fpmul: float, fpdiv: float = 0.004, fpsqrt: float = 0.001,
+            imul: float = 0.002) -> dict[OpClass, float]:
+    """FP-program mix; integer ALU fills the remainder (address math)."""
+    ialu = 1.0 - (
+        load + store + branch + fpadd + fpmul + fpdiv + fpsqrt + imul
+    )
+    if ialu < 0:
+        raise ValueError("fp mix fractions exceed 1")
+    return {
+        OpClass.IALU: ialu,
+        OpClass.IMUL: imul,
+        OpClass.LOAD: load,
+        OpClass.STORE: store,
+        OpClass.BRANCH: branch,
+        OpClass.FPADD: fpadd,
+        OpClass.FPMUL: fpmul,
+        OpClass.FPDIV: fpdiv,
+        OpClass.FPSQRT: fpsqrt,
+    }
+
+
+def _profiles() -> dict[str, BenchmarkProfile]:
+    mk = BenchmarkProfile
+    table = [
+        # ---------------- SPEC CINT2000 ----------------
+        # memory-bound pointer codes → low ILP
+        mk("mcf", "int", "low", _int_mix(0.30, 0.09, 0.19),
+           0.45, 2.2, 96 * 1024, 0.15, 0.35, 0.89, code_kb=16,
+           hot_frac=0.92, strands=2),
+        mk("parser", "int", "low", _int_mix(0.24, 0.10, 0.18),
+           0.50, 2.5, 24 * 1024, 0.30, 0.12, 0.90, code_kb=12,
+           hot_frac=0.92, strands=2),
+        mk("twolf", "int", "low", _int_mix(0.25, 0.09, 0.16),
+           0.50, 2.4, 16 * 1024, 0.25, 0.10, 0.88, code_kb=12,
+           hot_frac=0.92, strands=2),
+        mk("vpr", "int", "low", _int_mix(0.26, 0.10, 0.15),
+           0.50, 2.6, 20 * 1024, 0.30, 0.10, 0.90, code_kb=12,
+           hot_frac=0.92, strands=2),
+        # medium
+        mk("bzip2", "int", "med", _int_mix(0.25, 0.11, 0.13),
+           0.55, 4.2, 3 * 1024, 0.60, 0.05, 0.93, code_kb=8, hot_frac=0.93, far_src_frac=0.18),
+        mk("gcc", "int", "med", _int_mix(0.24, 0.13, 0.16),
+           0.55, 4.0, 3 * 1024, 0.55, 0.06, 0.92, code_kb=64, hot_frac=0.92, far_src_frac=0.18),
+        # execution-bound → high ILP
+        mk("crafty", "int", "high", _int_mix(0.22, 0.08, 0.12),
+           0.60, 7.5, 512, 0.80, 0.02, 0.95, code_kb=24, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("eon", "int", "high", _int_mix(0.23, 0.13, 0.10),
+           0.60, 8.0, 256, 0.85, 0.02, 0.97, code_kb=24, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("gap", "int", "high", _int_mix(0.24, 0.10, 0.11),
+           0.60, 7.0, 768, 0.80, 0.03, 0.96, code_kb=16, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("gzip", "int", "high", _int_mix(0.20, 0.09, 0.11),
+           0.60, 7.8, 384, 0.85, 0.02, 0.95, code_kb=8, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("perlbmk", "int", "high", _int_mix(0.24, 0.12, 0.13),
+           0.60, 7.2, 512, 0.80, 0.03, 0.96, code_kb=32, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("vortex", "int", "high", _int_mix(0.26, 0.14, 0.11),
+           0.60, 7.6, 640, 0.82, 0.03, 0.97, code_kb=32, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        # ---------------- SPEC CFP2000 ----------------
+        # memory-streaming far beyond L2 → low ILP
+        mk("art", "fp", "low", _fp_mix(0.28, 0.08, 0.08, 0.16, 0.12),
+           0.45, 2.3, 48 * 1024, 0.35, 0.05, 0.94,
+           code_kb=8, fp_load_frac=0.7, hot_frac=0.90, strands=3),
+        mk("equake", "fp", "low", _fp_mix(0.30, 0.08, 0.07, 0.15, 0.13),
+           0.45, 2.4, 40 * 1024, 0.40, 0.06, 0.95,
+           code_kb=12, fp_load_frac=0.7, hot_frac=0.90, strands=3),
+        mk("lucas", "fp", "low", _fp_mix(0.26, 0.10, 0.04, 0.18, 0.16),
+           0.45, 2.5, 64 * 1024, 0.45, 0.05, 0.97,
+           code_kb=8, fp_load_frac=0.8, strands=3),
+        mk("swim", "fp", "low", _fp_mix(0.28, 0.10, 0.03, 0.20, 0.14),
+           0.45, 2.6, 96 * 1024, 0.50, 0.02, 0.98,
+           code_kb=8, fp_load_frac=0.8, strands=3),
+        # medium
+        mk("ammp", "fp", "med", _fp_mix(0.26, 0.09, 0.06, 0.16, 0.14),
+           0.55, 4.0, 3 * 1024, 0.55, 0.06, 0.95,
+           code_kb=16, fp_load_frac=0.6, hot_frac=0.94, far_src_frac=0.18),
+        mk("applu", "fp", "med", _fp_mix(0.25, 0.10, 0.03, 0.20, 0.16),
+           0.55, 4.5, 3 * 1024, 0.65, 0.02, 0.97,
+           code_kb=12, fp_load_frac=0.7, hot_frac=0.93, far_src_frac=0.18),
+        mk("fma3d", "fp", "med", _fp_mix(0.26, 0.11, 0.06, 0.18, 0.14),
+           0.55, 4.2, 3 * 1024, 0.60, 0.04, 0.95,
+           code_kb=32, fp_load_frac=0.6, hot_frac=0.93, far_src_frac=0.18),
+        mk("galgel", "fp", "med", _fp_mix(0.24, 0.08, 0.05, 0.20, 0.17),
+           0.55, 4.6, 3 * 1024, 0.65, 0.02, 0.96,
+           code_kb=16, fp_load_frac=0.7, hot_frac=0.92, far_src_frac=0.18),
+        mk("wupwise", "fp", "med", _fp_mix(0.23, 0.09, 0.05, 0.18, 0.18),
+           0.55, 4.8, 3 * 1024, 0.70, 0.02, 0.97,
+           code_kb=8, fp_load_frac=0.7, hot_frac=0.92, far_src_frac=0.18),
+        # execution bound → high ILP
+        mk("apsi", "fp", "high", _fp_mix(0.22, 0.09, 0.04, 0.20, 0.17),
+           0.60, 7.5, 1536, 0.80, 0.01, 0.97,
+           code_kb=24, fp_load_frac=0.6, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("facerec", "fp", "high", _fp_mix(0.22, 0.08, 0.04, 0.21, 0.18),
+           0.60, 8.0, 1024, 0.85, 0.01, 0.98,
+           code_kb=16, fp_load_frac=0.7, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("mesa", "fp", "high", _fp_mix(0.22, 0.10, 0.08, 0.17, 0.15),
+           0.60, 7.8, 768, 0.82, 0.02, 0.97,
+           code_kb=16, fp_load_frac=0.5, strands=6, hot_frac=0.55, far_src_frac=0.3),
+        mk("mgrid", "fp", "high", _fp_mix(0.24, 0.07, 0.02, 0.24, 0.18),
+           0.60, 8.5, 1024, 0.90, 0.00, 0.99,
+           code_kb=8, fp_load_frac=0.8, strands=7, hot_frac=0.55, far_src_frac=0.3),
+        mk("sixtrack", "fp", "high", _fp_mix(0.21, 0.09, 0.05, 0.20, 0.17),
+           0.60, 7.6, 1024, 0.82, 0.01, 0.97,
+           code_kb=32, fp_load_frac=0.6, strands=6, hot_frac=0.55, far_src_frac=0.3),
+    ]
+    return {p.name: p for p in table}
+
+
+#: Registry of all 26 profiles, keyed by benchmark name.
+PROFILES: dict[str, BenchmarkProfile] = _profiles()
+
+#: All benchmark names, alphabetical.
+ALL_BENCHMARKS: tuple[str, ...] = tuple(sorted(PROFILES))
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by SPEC program name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(ALL_BENCHMARKS)}"
+        ) from None
+
+
+def benchmarks_by_class(ilp_class: str) -> tuple[str, ...]:
+    """All benchmark names with the given target ILP class."""
+    if ilp_class not in ILP_CLASSES:
+        raise ValueError(f"unknown ILP class {ilp_class!r}")
+    return tuple(
+        name for name in ALL_BENCHMARKS
+        if PROFILES[name].ilp_class == ilp_class
+    )

@@ -1,0 +1,12 @@
+"""Small shared utilities: deterministic RNG derivation and validation."""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.validate import check_positive, check_power_of_two, check_range
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "check_positive",
+    "check_power_of_two",
+    "check_range",
+]

@@ -1,0 +1,27 @@
+"""SPEC CPU2000 benchmark list and the paper's multithreaded mixes."""
+
+from repro.workloads.mixes import (
+    FOUR_THREAD_MIXES,
+    THREE_THREAD_MIXES,
+    TWO_THREAD_MIXES,
+    Mix,
+    mixes_for_threads,
+)
+from repro.workloads.spec2000 import (
+    CFP2000,
+    CINT2000,
+    SPEC2000,
+    ilp_class_of,
+)
+
+__all__ = [
+    "SPEC2000",
+    "CINT2000",
+    "CFP2000",
+    "ilp_class_of",
+    "Mix",
+    "TWO_THREAD_MIXES",
+    "THREE_THREAD_MIXES",
+    "FOUR_THREAD_MIXES",
+    "mixes_for_threads",
+]

@@ -1,0 +1,33 @@
+"""SPEC CPU2000 benchmark roster and ILP classification.
+
+The class labels are those of the synthetic profiles
+(:mod:`repro.trace.profiles`); the paper derives the same three-way
+low/medium/high split from single-thread simulations (its §2), which
+:mod:`repro.trace.classify` reproduces against these targets.
+"""
+
+from __future__ import annotations
+
+from repro.trace.profiles import ALL_BENCHMARKS, PROFILES
+
+#: The 12 SPEC CINT2000 programs.
+CINT2000: tuple[str, ...] = (
+    "bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+    "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr",
+)
+
+#: The 14 SPEC CFP2000 programs.
+CFP2000: tuple[str, ...] = (
+    "ammp", "applu", "apsi", "art", "equake", "facerec", "fma3d",
+    "galgel", "lucas", "mesa", "mgrid", "sixtrack", "swim", "wupwise",
+)
+
+#: Full suite (26 programs), alphabetical.
+SPEC2000: tuple[str, ...] = tuple(sorted(CINT2000 + CFP2000))
+
+assert SPEC2000 == ALL_BENCHMARKS, "profile registry out of sync with roster"
+
+
+def ilp_class_of(name: str) -> str:
+    """Target ILP class (``low``/``med``/``high``) of a benchmark."""
+    return PROFILES[name].ilp_class

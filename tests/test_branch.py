@@ -1,0 +1,165 @@
+"""Branch predictor tests: gshare, BTB, combined thread predictor."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GShare
+from repro.branch.predictor import ThreadPredictor
+from repro.config.machine import BranchPredictorConfig
+
+
+class TestGShare:
+    def test_initial_state_weakly_taken(self):
+        g = GShare(64, 4)
+        taken, _ = g.predict(0)
+        assert taken is True  # counters init to 2 (weakly taken)
+
+    def test_learns_always_taken(self):
+        g = GShare(64, 4)
+        for _ in range(50):
+            pred, tok = g.predict(0x40)
+            g.update(tok, True, pred)
+        pred, _ = g.predict(0x40)
+        assert pred is True
+        assert g.accuracy > 0.9
+
+    def test_learns_always_not_taken(self):
+        g = GShare(64, 4)
+        for _ in range(50):
+            pred, tok = g.predict(0x40)
+            g.update(tok, False, pred)
+        pred, _ = g.predict(0x40)
+        assert pred is False
+
+    def test_learns_alternating_pattern_through_history(self):
+        """T,N,T,N... is perfectly predictable once history trains."""
+        g = GShare(1024, 8)
+        outcome = True
+        correct = 0
+        for i in range(400):
+            pred, tok = g.predict(0x100)
+            if i >= 200:
+                correct += pred == outcome
+            g.update(tok, outcome, pred)
+            outcome = not outcome
+        assert correct / 200 > 0.95
+
+    def test_counter_saturation(self):
+        g = GShare(16, 2)
+        for _ in range(10):
+            pred, tok = g.predict(4)
+            g.update(tok, True, pred)
+        # One not-taken cannot immediately flip the prediction.
+        pred, tok = g.predict(4)
+        g.update(tok, False, pred)
+        pred, _ = g.predict(4)
+        assert pred is True
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            GShare(100, 4)
+        with pytest.raises(ValueError):
+            GShare(64, 0)
+
+    def test_accuracy_counts(self):
+        g = GShare(64, 4)
+        pred, tok = g.predict(0)
+        g.update(tok, pred, pred)
+        assert g.lookups == 1 and g.hits == 1
+        pred, tok = g.predict(0)
+        g.update(tok, not pred, pred)
+        assert g.lookups == 2 and g.hits == 1
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 2)
+        assert btb.lookup(0x40) is None
+        btb.install(0x40, 0x1000)
+        assert btb.lookup(0x40) == 0x1000
+
+    def test_update_existing_target(self):
+        btb = BranchTargetBuffer(64, 2)
+        btb.install(0x40, 0x1000)
+        btb.install(0x40, 0x2000)
+        assert btb.lookup(0x40) == 0x2000
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(8, 2)  # 4 sets, 2 ways
+        num_sets = 4
+        # Three PCs mapping to the same set: evicts the least recent.
+        pcs = [((i * num_sets) << 2) for i in range(3)]
+        btb.install(pcs[0], 1)
+        btb.install(pcs[1], 2)
+        assert btb.lookup(pcs[0]) == 1  # refresh pc0 -> pc1 becomes LRU
+        btb.install(pcs[2], 3)
+        assert btb.lookup(pcs[1]) is None
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[2]) == 3
+
+    def test_distinct_sets_do_not_interfere(self):
+        btb = BranchTargetBuffer(8, 2)
+        btb.install(0 << 2, 10)
+        btb.install(1 << 2, 11)
+        btb.install(2 << 2, 12)
+        assert btb.lookup(0 << 2) == 10
+        assert btb.lookup(1 << 2) == 11
+
+    def test_hit_rate(self):
+        btb = BranchTargetBuffer(64, 2)
+        btb.lookup(0)
+        btb.install(0, 4)
+        btb.lookup(0)
+        assert btb.hit_rate == 0.5
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(63, 2)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(64, 3)
+
+
+class TestThreadPredictor:
+    def _predictor(self):
+        return ThreadPredictor(BranchPredictorConfig(
+            gshare_entries=256, history_bits=6, btb_entries=64, btb_assoc=2
+        ))
+
+    def test_correct_prediction_after_training(self):
+        p = self._predictor()
+        for _ in range(60):
+            pred = p.predict(0x80, True, 0x400)
+            p.resolve(0x80, True, 0x400, pred)
+        pred = p.predict(0x80, True, 0x400)
+        assert not pred.mispredicted
+
+    def test_taken_branch_with_cold_btb_counts_as_mispredict(self):
+        p = self._predictor()
+        # Train direction only at a different PC so BTB stays cold for
+        # the probe PC... instead: first dynamic instance of a taken
+        # branch mispredicts either by direction or by missing target.
+        pred = p.predict(0x80, True, 0x400)
+        assert pred.mispredicted  # weakly-taken direction but BTB miss
+
+    def test_not_taken_needs_no_btb(self):
+        p = self._predictor()
+        for _ in range(40):
+            pred = p.predict(0x80, False, 0)
+            p.resolve(0x80, False, 0, pred)
+        pred = p.predict(0x80, False, 0)
+        assert not pred.mispredicted
+
+    def test_wrong_target_is_mispredict(self):
+        p = self._predictor()
+        for _ in range(40):
+            pred = p.predict(0x80, True, 0x400)
+            p.resolve(0x80, True, 0x400, pred)
+        pred = p.predict(0x80, True, 0x800)  # same branch, new target
+        assert pred.mispredicted
+
+    def test_mispredict_rate_counting(self):
+        p = self._predictor()
+        pred = p.predict(0x80, True, 0x400)
+        assert p.branches == 1
+        assert p.mispredicts == (1 if pred.mispredicted else 0)
+        assert 0.0 <= p.mispredict_rate <= 1.0

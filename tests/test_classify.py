@@ -1,0 +1,55 @@
+"""ILP classification tests (paper §2 methodology)."""
+
+import pytest
+
+from repro.config.presets import paper_machine
+from repro.trace.classify import (
+    DEFAULT_HIGH_THRESHOLD,
+    DEFAULT_LOW_THRESHOLD,
+    classify_benchmark,
+    classify_ipc,
+)
+
+
+class TestClassifyIpc:
+    def test_bands(self):
+        assert classify_ipc(DEFAULT_LOW_THRESHOLD - 0.01) == "low"
+        assert classify_ipc(DEFAULT_LOW_THRESHOLD) == "med"
+        assert classify_ipc(DEFAULT_HIGH_THRESHOLD - 0.01) == "med"
+        assert classify_ipc(DEFAULT_HIGH_THRESHOLD) == "high"
+
+    def test_custom_thresholds(self):
+        assert classify_ipc(1.0, low_threshold=1.5, high_threshold=2.0) == "low"
+
+    def test_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            classify_ipc(1.0, low_threshold=2.0, high_threshold=1.0)
+
+
+class TestClassifyBenchmarks:
+    """One representative benchmark per class must land in its band
+    on the paper machine (the full 26-benchmark sweep lives in
+    benchmarks/bench_table_classification.py)."""
+
+    @pytest.mark.parametrize("name", ["mcf", "swim"])
+    def test_low_examples(self, name):
+        c = classify_benchmark(name, max_insns=6000)
+        assert c.ilp_class == "low"
+        assert c.matches_target
+
+    @pytest.mark.parametrize("name", ["ammp", "fma3d"])
+    def test_med_examples(self, name):
+        c = classify_benchmark(name, max_insns=6000)
+        assert c.ilp_class == "med"
+        assert c.matches_target
+
+    @pytest.mark.parametrize("name", ["mgrid", "eon"])
+    def test_high_examples(self, name):
+        c = classify_benchmark(name, max_insns=6000)
+        assert c.ilp_class == "high"
+        assert c.matches_target
+
+    def test_custom_config(self):
+        c = classify_benchmark("gzip", max_insns=4000,
+                               config=paper_machine(iq_size=32))
+        assert c.ipc > 0

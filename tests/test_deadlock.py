@@ -1,0 +1,80 @@
+"""Deadlock-avoidance buffer and watchdog timer unit tests."""
+
+import pytest
+
+from repro.core.deadlock import DeadlockAvoidanceBuffer, WatchdogTimer
+from repro.isa.opcodes import OpClass
+from repro.pipeline.dynamic import DynInstr
+
+
+def instr(seq=0):
+    return DynInstr(tid=0, seq=seq, tseq=seq, op=int(OpClass.IALU), pc=0,
+                    addr=0, taken=False, target=0, dest_l=-1, src1_l=-1,
+                    src2_l=-1, fetch_cycle=0)
+
+
+class TestDeadlockAvoidanceBuffer:
+    def test_insert_marks_instruction(self):
+        dab = DeadlockAvoidanceBuffer(1)
+        i = instr()
+        dab.insert(i, cycle=7)
+        assert i.in_dab
+        assert i.dispatch_cycle == 7
+        assert dab.inserts == 1
+
+    def test_capacity_enforced(self):
+        dab = DeadlockAvoidanceBuffer(1)
+        dab.insert(instr(0), 0)
+        assert not dab.has_space
+        with pytest.raises(RuntimeError, match="overflow"):
+            dab.insert(instr(1), 0)
+
+    def test_multi_entry(self):
+        dab = DeadlockAvoidanceBuffer(2)
+        dab.insert(instr(0), 0)
+        assert dab.has_space
+        dab.insert(instr(1), 0)
+        assert not dab.has_space
+
+    def test_clear(self):
+        dab = DeadlockAvoidanceBuffer(1)
+        i = instr()
+        dab.insert(i, 0)
+        dab.clear()
+        assert not i.in_dab
+        assert dab.has_space
+        assert dab.inserts == 1  # statistics preserved
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DeadlockAvoidanceBuffer(0)
+
+
+class TestWatchdogTimer:
+    def test_counts_down_and_expires(self):
+        w = WatchdogTimer(3)
+        assert not w.tick()
+        assert not w.tick()
+        assert w.tick()
+        assert w.expiries == 1
+
+    def test_reset_on_dispatch(self):
+        w = WatchdogTimer(3)
+        w.tick()
+        w.tick()
+        w.note_dispatch()
+        assert not w.tick()
+        assert not w.tick()
+        assert w.tick()
+
+    def test_rearms_after_expiry(self):
+        w = WatchdogTimer(2)
+        w.tick()
+        assert w.tick()
+        assert not w.tick()
+        assert w.tick()
+        assert w.expiries == 2
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            WatchdogTimer(0)

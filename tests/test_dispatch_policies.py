@@ -1,0 +1,231 @@
+"""Unit tests for the three dispatch policies (the paper's §3-§4 logic),
+driven against a minimal fake core."""
+
+import pytest
+
+from repro.core.dispatch import InOrderDispatch
+from repro.core.iq import IssueQueue
+from repro.core.ooo_dispatch import OutOfOrderDispatch
+from repro.core.scheduler import make_dispatch_policy
+from repro.core.two_op_block import TwoOpBlockDispatch
+from repro.config.presets import paper_machine
+from repro.isa.opcodes import OpClass
+from repro.pipeline.dynamic import DynInstr
+from repro.pipeline.stats import PipelineStats
+
+
+def instr(seq, src1=-1, src2=-1, dest=-1):
+    di = DynInstr(tid=0, seq=seq, tseq=seq, op=int(OpClass.IALU), pc=0,
+                  addr=0, taken=False, target=0, dest_l=-1, src1_l=-1,
+                  src2_l=-1, fetch_cycle=0)
+    di.src1_p = src1
+    di.src2_p = src2
+    di.dest_p = dest
+    return di
+
+
+class FakeThread:
+    def __init__(self, buffer):
+        self.dispatch_buffer = list(buffer)
+        self.blocked_2op = False
+
+
+class FakeCore:
+    def __init__(self, capacity=8, comparators=1):
+        self.ready = bytearray(32)
+        self.iq = IssueQueue(capacity, comparators, self.ready)
+        self.stats = PipelineStats(num_threads=1)
+
+
+class TestInOrderDispatch:
+    def test_dispatches_in_program_order(self):
+        core = FakeCore(comparators=2)
+        ts = FakeThread([instr(0), instr(1), instr(2)])
+        n = InOrderDispatch().dispatch_thread(core, ts, 0, budget=2)
+        assert n == 2
+        assert [i.seq for i in ts.dispatch_buffer] == [2]
+
+    def test_dispatches_ndi_without_blocking(self):
+        core = FakeCore(comparators=2)
+        ts = FakeThread([instr(0, src1=3, src2=4), instr(1)])
+        n = InOrderDispatch().dispatch_thread(core, ts, 0, budget=8)
+        assert n == 2
+        assert not ts.blocked_2op
+
+    def test_stops_on_full_iq(self):
+        core = FakeCore(capacity=1, comparators=2)
+        ts = FakeThread([instr(0), instr(1)])
+        n = InOrderDispatch().dispatch_thread(core, ts, 0, budget=8)
+        assert n == 1
+        assert len(ts.dispatch_buffer) == 1
+
+    def test_never_scan_blocked(self):
+        core = FakeCore(comparators=2)
+        ts = FakeThread([instr(0, src1=3, src2=4)])
+        assert InOrderDispatch().scan_blocked(core, ts) is False
+
+
+class TestTwoOpBlock:
+    def test_blocks_on_head_ndi(self):
+        core = FakeCore()
+        ndi = instr(0, src1=3, src2=4)
+        ts = FakeThread([ndi, instr(1)])
+        n = TwoOpBlockDispatch().dispatch_thread(core, ts, 0, budget=8)
+        assert n == 0
+        assert ts.blocked_2op
+        assert ndi.was_ndi_blocked
+        assert len(ts.dispatch_buffer) == 2  # nothing removed
+
+    def test_dispatches_until_ndi(self):
+        core = FakeCore()
+        ts = FakeThread([instr(0), instr(1, src1=3),
+                         instr(2, src1=4, src2=5), instr(3)])
+        n = TwoOpBlockDispatch().dispatch_thread(core, ts, 0, budget=8)
+        assert n == 2
+        assert [i.seq for i in ts.dispatch_buffer] == [2, 3]
+
+    def test_unblocks_when_one_source_ready(self):
+        core = FakeCore()
+        ndi = instr(0, src1=3, src2=4)
+        ts = FakeThread([ndi])
+        policy = TwoOpBlockDispatch()
+        assert policy.dispatch_thread(core, ts, 0, 8) == 0
+        core.ready[3] = 1  # one source arrives -> dispatchable
+        ts.blocked_2op = False
+        assert policy.dispatch_thread(core, ts, 1, 8) == 1
+        assert not ts.dispatch_buffer
+
+    def test_duplicate_tags_are_dispatchable(self):
+        core = FakeCore()
+        ts = FakeThread([instr(0, src1=3, src2=3)])
+        assert TwoOpBlockDispatch().dispatch_thread(core, ts, 0, 8) == 1
+
+    def test_scan_blocked_matches_head(self):
+        core = FakeCore()
+        policy = TwoOpBlockDispatch()
+        assert policy.scan_blocked(core, FakeThread([instr(0, src1=3, src2=4)]))
+        assert not policy.scan_blocked(core, FakeThread([instr(0, src1=3)]))
+        assert not policy.scan_blocked(core, FakeThread([]))
+
+
+class TestOutOfOrderDispatch:
+    def test_skips_ndi_dispatches_hdis(self):
+        core = FakeCore()
+        ndi = instr(0, src1=3, src2=4)
+        hdi1 = instr(1, src1=5)
+        hdi2 = instr(2)
+        ts = FakeThread([ndi, hdi1, hdi2])
+        n = OutOfOrderDispatch().dispatch_thread(core, ts, 0, budget=8)
+        assert n == 2
+        assert ts.dispatch_buffer == [ndi]
+        assert hdi1.ooo_dispatched and hdi1.skipped_ndis == 1
+        assert hdi2.ooo_dispatched
+        assert not ndi.issued and not ndi.in_iq
+
+    def test_no_flag_when_nothing_skipped(self):
+        core = FakeCore()
+        ts = FakeThread([instr(0), instr(1)])
+        OutOfOrderDispatch().dispatch_thread(core, ts, 0, 8)
+        assert not any(i.ooo_dispatched for i in (ts.dispatch_buffer or []))
+
+    def test_ndi_dependent_statistic(self):
+        core = FakeCore()
+        ndi = instr(0, src1=3, src2=4, dest=7)
+        dependent_hdi = instr(1, src1=7)  # reads the NDI's result
+        independent_hdi = instr(2, src1=5)
+        ts = FakeThread([ndi, dependent_hdi, independent_hdi])
+        OutOfOrderDispatch().dispatch_thread(core, ts, 0, 8)
+        assert dependent_hdi.ndi_dependent
+        assert not independent_hdi.ndi_dependent
+        assert core.stats.ooo_dispatched == 2
+        assert core.stats.ooo_ndi_dependent == 1
+
+    def test_transitive_ndi_dependence(self):
+        core = FakeCore()
+        ndi = instr(0, src1=3, src2=4, dest=7)
+        mid = instr(1, src1=7, dest=8)     # depends on NDI
+        leaf = instr(2, src1=8)            # depends on mid -> transitively
+        ts = FakeThread([ndi, mid, leaf])
+        OutOfOrderDispatch().dispatch_thread(core, ts, 0, 8)
+        assert mid.ndi_dependent and leaf.ndi_dependent
+
+    def test_blocked_only_when_whole_buffer_ndi(self):
+        core = FakeCore()
+        ts = FakeThread([instr(0, src1=3, src2=4), instr(1, src1=5, src2=6)])
+        n = OutOfOrderDispatch().dispatch_thread(core, ts, 0, 8)
+        assert n == 0
+        assert ts.blocked_2op
+
+    def test_not_blocked_when_stopped_by_iq_full(self):
+        core = FakeCore(capacity=1)
+        ts = FakeThread([instr(0), instr(1)])
+        policy = OutOfOrderDispatch()
+        n = policy.dispatch_thread(core, ts, 0, 8)
+        assert n == 1
+        assert not ts.blocked_2op  # resource limit, not policy block
+
+    def test_budget_respected(self):
+        core = FakeCore()
+        ts = FakeThread([instr(i) for i in range(5)])
+        assert OutOfOrderDispatch().dispatch_thread(core, ts, 0, 3) == 3
+        assert len(ts.dispatch_buffer) == 2
+
+    def test_multiple_ndis_skipped(self):
+        core = FakeCore()
+        ndis = [instr(0, src1=3, src2=4), instr(1, src1=5, src2=6)]
+        hdi = instr(2)
+        ts = FakeThread(ndis + [hdi])
+        OutOfOrderDispatch().dispatch_thread(core, ts, 0, 8)
+        assert hdi.skipped_ndis == 2
+        assert ts.dispatch_buffer == ndis
+
+    def test_scan_blocked(self):
+        core = FakeCore()
+        policy = OutOfOrderDispatch()
+        all_ndi = FakeThread([instr(0, src1=3, src2=4),
+                              instr(1, src1=5, src2=6)])
+        assert policy.scan_blocked(core, all_ndi)
+        with_hdi = FakeThread([instr(0, src1=3, src2=4), instr(1)])
+        assert not policy.scan_blocked(core, with_hdi)
+
+
+class TestFilteredVariant:
+    def test_holds_ndi_dependent_hdis(self):
+        core = FakeCore()
+        ndi = instr(0, src1=3, src2=4, dest=7)
+        dependent = instr(1, src1=7)
+        independent = instr(2, src1=5)
+        ts = FakeThread([ndi, dependent, independent])
+        n = OutOfOrderDispatch(filtered=True).dispatch_thread(core, ts, 0, 8)
+        assert n == 1
+        assert dependent in ts.dispatch_buffer
+        assert independent.ooo_dispatched
+
+    def test_filtered_scan_blocked_accounts_for_taint(self):
+        core = FakeCore()
+        policy = OutOfOrderDispatch(filtered=True)
+        ndi = instr(0, src1=3, src2=4, dest=7)
+        dependent = instr(1, src1=7)
+        ts = FakeThread([ndi, dependent])
+        assert policy.scan_blocked(core, ts)
+        ts2 = FakeThread([ndi, instr(1, src1=5)])
+        assert not policy.scan_blocked(core, ts2)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls,filtered", [
+        ("traditional", InOrderDispatch, None),
+        ("2op_block", TwoOpBlockDispatch, None),
+        ("2op_ooo", OutOfOrderDispatch, False),
+        ("2op_ooo_filtered", OutOfOrderDispatch, True),
+    ])
+    def test_mapping(self, kind, cls, filtered):
+        policy = make_dispatch_policy(paper_machine(scheduler=kind))
+        assert isinstance(policy, cls)
+        if filtered is not None:
+            assert policy.filtered is filtered
+
+    def test_reduced_iq_flags(self):
+        assert not make_dispatch_policy(paper_machine()).needs_reduced_iq
+        assert make_dispatch_policy(
+            paper_machine(scheduler="2op_block")).needs_reduced_iq

@@ -1,0 +1,137 @@
+"""Statistical-property tests of the trace generator's dataflow model.
+
+These verify the properties the calibration relies on (DESIGN.md §8):
+strand independence, dependence distances, two-source rates, branch
+site structure.
+"""
+
+import statistics
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import get_profile
+
+
+def last_writer_distances(trace, max_n=20000):
+    """Distance (in instructions) from each consumer to the most recent
+    write of its first source register."""
+    last_write = {}
+    distances = []
+    n = min(len(trace), max_n)
+    for i in range(n):
+        src = trace.src1[i]
+        if src != NO_REG and src in last_write:
+            distances.append(i - last_write[src])
+        if trace.dest[i] != NO_REG:
+            last_write[trace.dest[i]] = i
+    return distances
+
+
+class TestDependenceStructure:
+    def test_low_ilp_has_shorter_distances_than_high(self):
+        low = statistics.median(
+            last_writer_distances(generate_trace("parser", 20000, 0)))
+        high = statistics.median(
+            last_writer_distances(generate_trace("gzip", 20000, 0)))
+        assert low < high
+
+    def test_distances_scale_with_dep_mean(self):
+        d_parser = statistics.mean(
+            last_writer_distances(generate_trace("parser", 20000, 0)))
+        d_mgrid = statistics.mean(
+            last_writer_distances(generate_trace("mgrid", 20000, 0)))
+        assert d_mgrid > d_parser
+
+    def test_two_source_instructions_exist_in_volume(self):
+        """NDIs require two distinct register sources; the generator
+        must produce plenty of candidates."""
+        tr = generate_trace("equake", 20000, 0)
+        two_src = sum(
+            1 for i in range(len(tr))
+            if tr.src1[i] != NO_REG and tr.src2[i] != NO_REG
+            and tr.src1[i] != tr.src2[i]
+        )
+        assert two_src / len(tr) > 0.10
+
+    def test_dependence_free_instructions_exist(self):
+        """Far/immediate operands: some instructions must reach dispatch
+        with no register dependences at all (instant DIs)."""
+        tr = generate_trace("gzip", 20000, 0)
+        free = sum(
+            1 for i in range(len(tr))
+            if tr.src1[i] == NO_REG and tr.src2[i] == NO_REG
+        )
+        assert free / len(tr) > 0.05
+
+
+class TestBranchStructure:
+    def test_static_site_count_is_bounded(self):
+        """Branch PCs must recur at a fixed set of sites small enough
+        for a 2K-entry gshare to learn."""
+        tr = generate_trace("gzip", 50000, 0)
+        sites = {
+            tr.pc[i] for i in range(len(tr))
+            if tr.op[i] == int(OpClass.BRANCH)
+        }
+        assert 10 < len(sites) < 2048
+
+    def test_taken_targets_are_stable_per_site(self):
+        """The BTB model requires one target per static branch."""
+        tr = generate_trace("gcc", 50000, 0)
+        targets = {}
+        for i in range(len(tr)):
+            if tr.op[i] == int(OpClass.BRANCH) and tr.taken[i]:
+                prev = targets.setdefault(tr.pc[i], tr.target[i])
+                assert prev == tr.target[i]
+
+    def test_taken_fraction_moderate(self):
+        tr = generate_trace("gzip", 50000, 0)
+        taken = [tr.taken[i] for i in range(len(tr))
+                 if tr.op[i] == int(OpClass.BRANCH)]
+        frac = sum(taken) / len(taken)
+        assert 0.1 < frac < 0.8
+
+    def test_backward_taken_branches_exist(self):
+        """Loop latches: some taken branches must jump backward."""
+        tr = generate_trace("gzip", 50000, 0)
+        backward = sum(
+            1 for i in range(len(tr))
+            if tr.op[i] == int(OpClass.BRANCH) and tr.taken[i]
+            and tr.target[i] < tr.pc[i]
+        )
+        assert backward > 0
+
+
+class TestAddressStructure:
+    def test_memory_bound_profile_touches_many_distinct_lines(self):
+        tr = generate_trace("mcf", 20000, 0)
+        lines = {
+            tr.addr[i] // 512 for i in range(len(tr))
+            if tr.op[i] in (int(OpClass.LOAD), int(OpClass.STORE))
+        }
+        assert len(lines) > 500  # far beyond any cache
+
+    def test_cache_resident_profile_touches_few_lines(self):
+        profile = get_profile("gzip")
+        tr = generate_trace("gzip", 20000, 0)
+        lines = {
+            tr.addr[i] // 512 for i in range(len(tr))
+            if tr.op[i] in (int(OpClass.LOAD), int(OpClass.STORE))
+        }
+        # Bounded by the footprint.
+        assert len(lines) <= profile.footprint_kb * 1024 // 512 + 1
+
+    def test_pointer_chase_creates_load_load_dependences(self):
+        """For chasing profiles, some loads read a register produced by
+        an earlier load."""
+        tr = generate_trace("mcf", 20000, 0)
+        load_dests = set()
+        chained = 0
+        for i in range(len(tr)):
+            if tr.op[i] == int(OpClass.LOAD):
+                if tr.src1[i] in load_dests:
+                    chained += 1
+                if tr.dest[i] != NO_REG:
+                    load_dests.add(tr.dest[i])
+        assert chained > 100

@@ -1,0 +1,93 @@
+"""In-text statistics drivers (scaled-down runs, structural checks)."""
+
+import pytest
+
+from repro.config.presets import small_machine
+from repro.experiments.intext import (
+    deadlock_mechanism_stats,
+    dispatch_stall_stats,
+    filtering_ablation,
+    hdi_stats,
+    residency_stats,
+)
+
+CFG = small_machine()
+FAST = dict(max_insns=1200, seed=0, max_mixes=2)
+
+
+class TestDispatchStallStats:
+    def test_returns_all_thread_counts(self):
+        cfg = CFG.replace(int_phys_regs=192, fp_phys_regs=192)
+        stats = dispatch_stall_stats(iq_size=16, base_config=cfg, **FAST)
+        assert set(stats) == {2, 3, 4}
+        for v in stats.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_traditional_never_stalls_on_2op(self):
+        cfg = CFG.replace(int_phys_regs=192, fp_phys_regs=192)
+        stats = dispatch_stall_stats(
+            iq_size=16, scheduler="traditional", base_config=cfg,
+            max_insns=1000, max_mixes=1,
+        )
+        assert stats[2] == 0.0
+
+
+class TestHdiStats:
+    def test_fields_in_range(self):
+        s = hdi_stats(iq_size=16, num_threads=2, base_config=CFG, **FAST)
+        assert 0.0 <= s.hdi_fraction <= 1.0
+        assert 0.0 <= s.ooo_ndi_dependent_fraction <= 1.0
+        assert s.ooo_dispatched_per_kinsn >= 0.0
+
+    def test_hdis_dominate_piles(self):
+        """The paper's ~90% HDI share: at this model's calibration the
+        sampled dispatchable share behind NDIs must clearly dominate."""
+        s = hdi_stats(iq_size=16, num_threads=2, base_config=CFG,
+                      max_insns=2500, seed=0, max_mixes=3)
+        assert s.hdi_fraction > 0.5
+
+
+class TestFilteringAblation:
+    def test_structure(self):
+        out = filtering_ablation(iq_size=16, num_threads=2,
+                                 base_config=CFG, **FAST)
+        assert set(out) == {"2op_ooo", "2op_ooo_filtered", "filter_gain"}
+        assert out["2op_ooo"] > 0
+
+    def test_filter_gain_is_small(self):
+        """Paper: idealized filtering only gains ~1.2%; the two variants
+        must produce IPCs within a few percent of each other."""
+        out = filtering_ablation(iq_size=16, num_threads=2,
+                                 base_config=CFG, max_insns=2500, seed=0,
+                                 max_mixes=3)
+        assert abs(out["filter_gain"]) < 0.15
+
+
+class TestResidencyStats:
+    def test_structure(self):
+        out = residency_stats(iq_size=16, num_threads=2,
+                              base_config=CFG, **FAST)
+        assert set(out) == {"traditional", "2op_block", "2op_ooo"}
+        for v in out.values():
+            assert v["mean_iq_residency"] >= 0
+
+    def test_2op_designs_reduce_residency(self):
+        """§5: keeping two-non-ready instructions out of the queue cuts
+        the mean cycles an instruction occupies an IQ entry."""
+        out = residency_stats(iq_size=16, num_threads=2, base_config=CFG,
+                              max_insns=2500, seed=0, max_mixes=3)
+        assert out["2op_ooo"]["mean_iq_residency"] < \
+            out["traditional"]["mean_iq_residency"]
+
+
+class TestDeadlockMechanismStats:
+    def test_structure(self):
+        cfg = CFG.replace(int_phys_regs=192, fp_phys_regs=192)
+        out = deadlock_mechanism_stats(
+            iq_size=8, num_threads=4, base_config=cfg,
+            max_insns=1000, seed=0, max_mixes=1,
+        )
+        assert set(out) == {"buffer", "watchdog"}
+        assert out["buffer"]["hmean_ipc"] > 0
+        assert out["buffer"]["watchdog_flushes"] == 0
+        assert out["watchdog"]["dab_inserts"] == 0

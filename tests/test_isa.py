@@ -1,0 +1,90 @@
+"""ISA model tests: op classes, latencies, registers, instructions."""
+
+import pytest
+
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import (
+    FU_ASSIGNMENT,
+    FUClass,
+    OpClass,
+    execution_latency,
+    fu_for_op,
+    issue_interval,
+)
+from repro.isa.registers import (
+    FP_BASE,
+    NO_REG,
+    NUM_LOGICAL_REGS,
+    REG_FP_ZERO,
+    REG_INT_ZERO,
+    is_fp_reg,
+    is_zero_reg,
+    reg_class,
+)
+
+
+class TestLatencyTable:
+    """Latencies must match Table 1 of the paper."""
+
+    @pytest.mark.parametrize("op,fu,lat,interval", [
+        (OpClass.IALU, FUClass.INT_ALU, 1, 1),
+        (OpClass.IMUL, FUClass.INT_MULDIV, 3, 1),
+        (OpClass.IDIV, FUClass.INT_MULDIV, 20, 19),
+        (OpClass.LOAD, FUClass.MEM_PORT, 2, 1),
+        (OpClass.STORE, FUClass.MEM_PORT, 2, 1),
+        (OpClass.FPADD, FUClass.FP_ADD, 2, 1),
+        (OpClass.FPMUL, FUClass.FP_MULDIV, 4, 1),
+        (OpClass.FPDIV, FUClass.FP_MULDIV, 12, 12),
+        (OpClass.FPSQRT, FUClass.FP_MULDIV, 24, 24),
+        (OpClass.BRANCH, FUClass.INT_ALU, 1, 1),
+    ])
+    def test_assignment(self, op, fu, lat, interval):
+        assert fu_for_op(op) is fu
+        assert execution_latency(op) == lat
+        assert issue_interval(op) == interval
+
+    def test_every_op_has_assignment(self):
+        for op in OpClass:
+            assert op in FU_ASSIGNMENT
+
+
+class TestRegisters:
+    def test_partition(self):
+        assert NUM_LOGICAL_REGS == 64
+        assert FP_BASE == 32
+
+    def test_zero_registers(self):
+        assert is_zero_reg(REG_INT_ZERO)
+        assert is_zero_reg(REG_FP_ZERO)
+        assert not is_zero_reg(0)
+        assert not is_zero_reg(FP_BASE)
+
+    def test_reg_class(self):
+        assert reg_class(0) == 0
+        assert reg_class(FP_BASE) == 1
+        assert is_fp_reg(FP_BASE)
+        assert not is_fp_reg(FP_BASE - 1)
+
+
+class TestTraceInstruction:
+    def test_flags(self):
+        ld = TraceInstruction(op=OpClass.LOAD, dest=3, src1=4, addr=128)
+        assert ld.is_load and ld.is_mem and not ld.is_store
+        st = TraceInstruction(op=OpClass.STORE, src1=3, src2=4, addr=64)
+        assert st.is_store and st.is_mem and not st.is_load
+        br = TraceInstruction(op=OpClass.BRANCH, src1=1, taken=True, target=4)
+        assert br.is_branch and not br.is_mem
+
+    def test_num_reg_sources_excludes_zero_and_missing(self):
+        i = TraceInstruction(op=OpClass.IALU, dest=1, src1=2, src2=3)
+        assert i.num_reg_sources() == 2
+        i = TraceInstruction(op=OpClass.IALU, dest=1, src1=2, src2=NO_REG)
+        assert i.num_reg_sources() == 1
+        i = TraceInstruction(op=OpClass.IALU, dest=1, src1=REG_INT_ZERO,
+                             src2=NO_REG)
+        assert i.num_reg_sources() == 0
+
+    def test_frozen(self):
+        i = TraceInstruction(op=OpClass.IALU)
+        with pytest.raises(Exception):
+            i.dest = 5

@@ -1,0 +1,112 @@
+"""Metric tests: aggregation, fairness, SimResult."""
+
+import math
+
+import pytest
+
+from repro.metrics.aggregate import geometric_mean, harmonic_mean, speedup
+from repro.metrics.fairness import harmonic_weighted_ipc, weighted_ipcs
+from repro.metrics.ipc import SimResult
+from repro.pipeline.stats import PipelineStats
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([3.0]) == 3.0
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_dominated_by_smallest(self):
+        assert harmonic_mean([0.1, 10.0]) < 0.25
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_below_arithmetic_mean(self):
+        vals = [0.5, 1.5, 2.5, 4.0]
+        assert harmonic_mean(vals) <= sum(vals) / len(vals)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_between_harmonic_and_arithmetic(self):
+        vals = [0.5, 1.5, 2.5, 4.0]
+        g = geometric_mean(vals)
+        assert harmonic_mean(vals) <= g <= sum(vals) / len(vals)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
+class TestSpeedup:
+    def test_parity(self):
+        assert speedup(2.0, 2.0) == 1.0
+
+    def test_improvement(self):
+        assert speedup(3.0, 2.0) == 1.5
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestFairness:
+    def test_weighted_ipcs(self):
+        assert weighted_ipcs([1.0, 2.0], [2.0, 2.0]) == [0.5, 1.0]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_ipcs([1.0], [1.0, 2.0])
+
+    def test_zero_alone_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_ipcs([1.0], [0.0])
+
+    def test_harmonic_weighted_balanced(self):
+        # Both threads run at half their solo speed: fairness 0.5.
+        assert harmonic_weighted_ipc([1.0, 2.0], [2.0, 4.0]) == \
+            pytest.approx(0.5)
+
+    def test_harmonic_punishes_starvation(self):
+        balanced = harmonic_weighted_ipc([1.0, 1.0], [2.0, 2.0])
+        starved = harmonic_weighted_ipc([1.9, 0.1], [2.0, 2.0])
+        assert starved < balanced
+
+    def test_zero_mix_ipc_gives_zero(self):
+        assert harmonic_weighted_ipc([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+
+class TestSimResult:
+    def _result(self):
+        stats = PipelineStats(num_threads=2)
+        stats.cycles = 100
+        stats.committed = [150, 50]
+        stats.committed_total = 200
+        return SimResult.from_stats(("a", "b"), "traditional", 64, stats)
+
+    def test_throughput(self):
+        r = self._result()
+        assert r.throughput_ipc == 2.0
+        assert r.per_thread_ipc == (1.5, 0.5)
+        assert r.num_threads == 2
+
+    def test_extras_accessible(self):
+        r = self._result()
+        assert r.extra("throughput_ipc") == 2.0
+        assert r.extra("not_a_stat", default=-1.0) == -1.0
+
+    def test_zero_cycles(self):
+        stats = PipelineStats(num_threads=1)
+        r = SimResult.from_stats(("a",), "traditional", 64, stats)
+        assert r.throughput_ipc == 0.0

@@ -1,0 +1,188 @@
+"""ROB, LSQ, functional-unit pool and thread-state unit tests."""
+
+import pytest
+
+from repro.config.presets import small_machine
+from repro.isa.opcodes import OpClass
+from repro.pipeline.dynamic import DynInstr
+from repro.pipeline.fu import FunctionalUnitPool
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.thread import ThreadState
+from repro.trace.generator import generate_trace
+
+
+def instr(seq, op=OpClass.IALU, addr=0, tseq=None):
+    return DynInstr(tid=0, seq=seq, tseq=tseq if tseq is not None else seq,
+                    op=int(op), pc=0, addr=addr, taken=False, target=0,
+                    dest_l=-1, src1_l=-1, src2_l=-1, fetch_cycle=0)
+
+
+class TestReorderBuffer:
+    def test_fifo_order(self):
+        rob = ReorderBuffer(4)
+        a, b = instr(0), instr(1)
+        rob.allocate(a)
+        rob.allocate(b)
+        assert rob.head is a
+        assert rob.retire_head() is a
+        assert rob.head is b
+
+    def test_capacity(self):
+        rob = ReorderBuffer(2)
+        rob.allocate(instr(0))
+        assert not rob.full
+        rob.allocate(instr(1))
+        assert rob.full
+        with pytest.raises(RuntimeError):
+            rob.allocate(instr(2))
+
+    def test_empty_head_is_none(self):
+        assert ReorderBuffer(2).head is None
+
+    def test_clear(self):
+        rob = ReorderBuffer(2)
+        rob.allocate(instr(0))
+        rob.clear()
+        assert len(rob) == 0 and rob.head is None
+
+    def test_iteration_in_order(self):
+        rob = ReorderBuffer(4)
+        for i in range(3):
+            rob.allocate(instr(i))
+        assert [x.seq for x in rob] == [0, 1, 2]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+
+class TestLoadStoreQueue:
+    def test_occupancy(self):
+        lsq = LoadStoreQueue(2)
+        a = instr(0, OpClass.LOAD, addr=64)
+        lsq.allocate(a)
+        assert lsq.count == 1 and not lsq.full
+        lsq.allocate(instr(1, OpClass.STORE, addr=128))
+        assert lsq.full
+        with pytest.raises(RuntimeError):
+            lsq.allocate(instr(2, OpClass.LOAD, addr=0))
+        lsq.release(a)
+        assert not lsq.full
+
+    def test_store_forwarding_requires_older_store(self):
+        lsq = LoadStoreQueue(8)
+        store = instr(5, OpClass.STORE, addr=64, tseq=5)
+        lsq.allocate(store)
+        young_load = instr(7, OpClass.LOAD, addr=64, tseq=7)
+        old_load = instr(3, OpClass.LOAD, addr=64, tseq=3)
+        assert lsq.can_forward(young_load) is True
+        assert lsq.can_forward(old_load) is False
+
+    def test_no_forwarding_for_different_address(self):
+        lsq = LoadStoreQueue(8)
+        lsq.allocate(instr(0, OpClass.STORE, addr=64))
+        assert not lsq.can_forward(instr(1, OpClass.LOAD, addr=128, tseq=1))
+
+    def test_forwarding_stops_after_store_commits(self):
+        lsq = LoadStoreQueue(8)
+        store = instr(0, OpClass.STORE, addr=64, tseq=0)
+        lsq.allocate(store)
+        lsq.release(store)
+        assert not lsq.can_forward(instr(1, OpClass.LOAD, addr=64, tseq=1))
+
+    def test_forward_counter(self):
+        lsq = LoadStoreQueue(8)
+        lsq.allocate(instr(0, OpClass.STORE, addr=64, tseq=0))
+        lsq.can_forward(instr(1, OpClass.LOAD, addr=64, tseq=1))
+        assert lsq.forwards == 1
+
+    def test_reset(self):
+        lsq = LoadStoreQueue(8)
+        lsq.allocate(instr(0, OpClass.STORE, addr=64))
+        lsq.reset()
+        assert lsq.count == 0
+        assert not lsq.can_forward(instr(1, OpClass.LOAD, addr=64, tseq=1))
+
+
+class TestFunctionalUnitPool:
+    def _pool(self):
+        return FunctionalUnitPool(small_machine())
+
+    def test_pipelined_unit_accepts_every_cycle(self):
+        pool = self._pool()
+        for _ in range(8):  # 8 int adders in small_machine config
+            assert pool.try_claim(int(OpClass.IALU), cycle=0)
+
+    def test_divider_blocks_its_unit(self):
+        pool = self._pool()
+        for _ in range(4):
+            assert pool.try_claim(int(OpClass.IDIV), 0)
+        assert not pool.try_claim(int(OpClass.IDIV), 0)
+        # IDIV issue interval is 19: still busy at cycle 10 ...
+        assert not pool.try_claim(int(OpClass.IDIV), 10)
+        # ... free again at 19.
+        assert pool.try_claim(int(OpClass.IDIV), 19)
+
+    def test_mul_and_div_share_units(self):
+        pool = self._pool()
+        for _ in range(4):
+            assert pool.try_claim(int(OpClass.IDIV), 0)
+        assert not pool.try_claim(int(OpClass.IMUL), 0)
+
+    def test_available_does_not_claim(self):
+        pool = self._pool()
+        assert pool.available(int(OpClass.IALU), 0)
+        for _ in range(8):
+            pool.try_claim(int(OpClass.IALU), 0)
+        assert not pool.available(int(OpClass.IALU), 0)
+        assert pool.available(int(OpClass.IALU), 1)
+
+    def test_reset(self):
+        pool = self._pool()
+        for _ in range(4):
+            pool.try_claim(int(OpClass.IDIV), 0)
+        pool.reset()
+        assert pool.try_claim(int(OpClass.IDIV), 0)
+
+
+class TestThreadState:
+    def _thread(self):
+        cfg = small_machine()
+        trace = generate_trace("gzip", 2000, 3)
+        return ThreadState(0, trace, cfg), cfg
+
+    def test_initial_state(self):
+        ts, cfg = self._thread()
+        assert ts.fetch_idx == 0
+        assert not ts.exhausted
+        assert not ts.drained
+        assert ts.pipe_capacity == cfg.frontend_depth * cfg.fetch_width
+
+    def test_exhausted_and_drained(self):
+        ts, _ = self._thread()
+        ts.fetch_idx = ts.trace_len
+        assert ts.exhausted and ts.drained
+        ts.rob.allocate(instr(0))
+        assert not ts.drained
+
+    def test_flush_resumes_from_oldest_in_flight(self):
+        ts, _ = self._thread()
+        ts.fetch_idx = 100
+        oldest = instr(50, tseq=50)
+        ts.rob.allocate(oldest)
+        ts.dispatch_buffer.append(instr(60, tseq=60))
+        ts.pipe.append((0, instr(70, tseq=70)))
+        ts.icount = 3
+        resume = ts.flush_inflight(resume_cycle=123)
+        assert resume == 50
+        assert ts.fetch_idx == 50
+        assert ts.icount == 0
+        assert len(ts.rob) == 0 and not ts.pipe and not ts.dispatch_buffer
+        assert ts.stalled_until == 123
+
+    def test_flush_with_empty_rob_uses_pipe(self):
+        ts, _ = self._thread()
+        ts.fetch_idx = 80
+        ts.pipe.append((0, instr(75, tseq=75)))
+        assert ts.flush_inflight(1) == 75

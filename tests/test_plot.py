@@ -1,0 +1,64 @@
+"""ASCII chart and CSV export tests."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plot import ascii_chart, sweep_to_csv, to_csv
+from repro.experiments.sweep import SweepResult
+from repro.metrics.ipc import SimResult
+
+
+def result():
+    return FigureResult(
+        figure="figureX", metric="demo", iq_sizes=(32, 64, 96),
+        series={
+            "traditional": [1.0, 1.1, 1.12],
+            "2op_block": [0.9, 0.85, 0.84],
+        },
+    )
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart(result())
+        assert "o = 2op_block" in out
+        assert "x = traditional" in out
+        assert "figureX" in out
+
+    def test_axis_labels_show_range(self):
+        out = ascii_chart(result())
+        assert "1.1" in out  # top label near max
+        assert "32" in out and "96" in out
+
+    def test_flat_series_does_not_crash(self):
+        r = FigureResult(figure="f", metric="m", iq_sizes=(8, 16),
+                         series={"a": [1.0, 1.0]})
+        assert "a" in ascii_chart(r)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart(result(), width=4)
+
+    def test_custom_dimensions(self):
+        out = ascii_chart(result(), width=30, height=8)
+        body = [l for l in out.splitlines() if l.startswith(" ") or "|" in l]
+        assert len(body) >= 8
+
+
+class TestCsv:
+    def test_figure_csv(self):
+        out = to_csv(result())
+        lines = out.splitlines()
+        assert lines[0] == "iq_size,2op_block,traditional"
+        assert lines[1].startswith("32,0.9")
+        assert len(lines) == 4
+
+    def test_sweep_csv(self):
+        sweep = SweepResult()
+        sweep.results[("traditional", 32, "m1")] = SimResult(
+            benchmarks=("a",), scheduler="traditional", iq_size=32,
+            cycles=100, committed=(200,),
+        )
+        out = sweep_to_csv(sweep)
+        assert out.splitlines()[0] == "scheduler,iq_size,mix,throughput_ipc"
+        assert "traditional,32,m1,2.0" in out

@@ -1,0 +1,130 @@
+"""Benchmark profile registry tests."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.profiles import (
+    ALL_BENCHMARKS,
+    PROFILES,
+    BenchmarkProfile,
+    benchmarks_by_class,
+    get_profile,
+    _int_mix,
+)
+
+
+class TestRegistry:
+    def test_all_26_spec2000_programs(self):
+        assert len(ALL_BENCHMARKS) == 26
+
+    def test_int_fp_split(self):
+        ints = [p for p in PROFILES.values() if p.suite == "int"]
+        fps = [p for p in PROFILES.values() if p.suite == "fp"]
+        assert len(ints) == 12
+        assert len(fps) == 14
+
+    def test_every_class_represented(self):
+        for cls in ("low", "med", "high"):
+            assert benchmarks_by_class(cls)
+
+    def test_benchmarks_by_class_partition(self):
+        union = set()
+        for cls in ("low", "med", "high"):
+            names = benchmarks_by_class(cls)
+            assert not union & set(names)
+            union.update(names)
+        assert union == set(ALL_BENCHMARKS)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            benchmarks_by_class("ultra")
+
+    def test_get_profile_known(self):
+        assert get_profile("gzip").name == "gzip"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("doom")
+
+
+class TestProfileContents:
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_mix_sums_to_one(self, name):
+        assert abs(sum(get_profile(name).mix.values()) - 1.0) < 1e-9
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_int_programs_have_no_fp_ops(self, name):
+        p = get_profile(name)
+        if p.suite == "int":
+            fp_ops = {OpClass.FPADD, OpClass.FPMUL, OpClass.FPDIV,
+                      OpClass.FPSQRT}
+            assert not fp_ops & set(p.mix)
+            assert p.fp_load_frac == 0.0
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_memory_bound_means_large_footprint(self, name):
+        p = get_profile(name)
+        if p.ilp_class == "low":
+            assert p.footprint_kb * 1024 > 8 * 1024 * 1024, (
+                "low-ILP programs must be memory bound (footprint >> L2)"
+            )
+        if p.ilp_class == "high":
+            assert p.footprint_kb <= 2048, (
+                "high-ILP programs must be execution bound (cache resident)"
+            )
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_strand_count_follows_class(self, name):
+        p = get_profile(name)
+        if p.ilp_class == "low":
+            assert p.strands <= 3
+        if p.ilp_class == "high":
+            assert p.strands >= 5
+
+
+class TestValidation:
+    def _base(self, **kw):
+        args = dict(
+            name="x", suite="int", ilp_class="med",
+            mix=_int_mix(0.2, 0.1, 0.1), frac_two_src=0.5, dep_mean=3.0,
+            footprint_kb=64, seq_frac=0.5, pointer_chase=0.1,
+            branch_predictability=0.9,
+        )
+        args.update(kw)
+        return BenchmarkProfile(**args)
+
+    def test_valid_profile(self):
+        assert self._base().name == "x"
+
+    def test_bad_suite(self):
+        with pytest.raises(ValueError, match="suite"):
+            self._base(suite="vector")
+
+    def test_bad_class(self):
+        with pytest.raises(ValueError, match="ilp_class"):
+            self._base(ilp_class="huge")
+
+    def test_mix_must_sum_to_one(self):
+        mix = _int_mix(0.2, 0.1, 0.1)
+        mix[OpClass.IALU] += 0.1
+        with pytest.raises(ValueError, match="sums to"):
+            self._base(mix=mix)
+
+    def test_fraction_ranges(self):
+        with pytest.raises(ValueError):
+            self._base(frac_two_src=1.5)
+        with pytest.raises(ValueError):
+            self._base(seq_frac=-0.1)
+        with pytest.raises(ValueError):
+            self._base(branch_predictability=0.2)
+        with pytest.raises(ValueError):
+            self._base(strands=0)
+
+    def test_fingerprint_distinguishes_variants(self):
+        a = self._base()
+        b = self._base(dep_mean=3.5)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == self._base().fingerprint()
+
+    def test_fingerprint_hashable(self):
+        hash(self._base().fingerprint())

@@ -1,0 +1,140 @@
+"""Register renaming tests: free lists, map tables, rename unit."""
+
+import pytest
+
+from repro.config.presets import small_machine, tiny_machine
+from repro.isa.registers import FP_BASE, NO_REG, REG_INT_ZERO
+from repro.rename.free_list import FreeList
+from repro.rename.map_table import NO_PREG, RenameMapTable
+from repro.rename.renamer import RenameUnit
+
+
+class TestFreeList:
+    def test_allocate_release_roundtrip(self):
+        fl = FreeList(0, 4)
+        regs = [fl.allocate() for _ in range(4)]
+        assert sorted(regs) == [0, 1, 2, 3]
+        assert len(fl) == 0
+        with pytest.raises(IndexError):
+            fl.allocate()
+        fl.release(regs[0])
+        assert fl.allocate() == regs[0]
+
+    def test_release_out_of_range(self):
+        fl = FreeList(10, 4)
+        with pytest.raises(ValueError):
+            fl.release(3)
+
+    def test_owns(self):
+        fl = FreeList(10, 4)
+        assert fl.owns(10) and fl.owns(13)
+        assert not fl.owns(9) and not fl.owns(14)
+
+    def test_capacity(self):
+        assert FreeList(5, 7).capacity == 7
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            FreeList(0, 0)
+
+
+class TestMapTable:
+    def test_initial_mappings_empty(self):
+        t = RenameMapTable()
+        assert t.lookup(0) == NO_PREG
+        assert t.lookup(NO_REG) == NO_PREG
+
+    def test_remap_returns_old(self):
+        t = RenameMapTable()
+        assert t.remap(3, 100) == NO_PREG
+        assert t.remap(3, 101) == 100
+        assert t.lookup(3) == 101
+
+    def test_zero_register_pinned(self):
+        t = RenameMapTable()
+        with pytest.raises(ValueError):
+            t.remap(REG_INT_ZERO, 5)
+
+    def test_mappings_snapshot_is_copy(self):
+        t = RenameMapTable()
+        snap = t.mappings()
+        snap[0] = 42
+        assert t.lookup(0) == NO_PREG
+
+
+class TestRenameUnit:
+    def _unit(self, threads=1):
+        return RenameUnit(small_machine(), threads)
+
+    def test_initial_mappings_are_ready(self):
+        u = self._unit()
+        for logical in (0, 5, FP_BASE, FP_BASE + 3):
+            assert u.is_ready(u.maps[0].lookup(logical))
+
+    def test_rename_allocates_not_ready_dest(self):
+        u = self._unit()
+        d, old, s1, s2 = u.rename(0, 3, 1, 2)
+        assert d >= 0 and not u.is_ready(d)
+        assert old >= 0  # initial mapping existed
+        assert u.is_ready(s1) and u.is_ready(s2)
+        assert u.maps[0].lookup(3) == d
+
+    def test_dependence_through_renamed_register(self):
+        u = self._unit()
+        d1, _, _, _ = u.rename(0, 3, NO_REG, NO_REG)
+        _, _, s1, _ = u.rename(0, 4, 3, NO_REG)
+        assert s1 == d1
+        assert not u.is_ready(s1)
+        u.mark_ready(d1)
+        assert u.is_ready(s1)
+
+    def test_zero_register_sources_and_dests(self):
+        u = self._unit()
+        d, old, s1, s2 = u.rename(0, REG_INT_ZERO, REG_INT_ZERO, NO_REG)
+        assert d == NO_PREG and old == NO_PREG
+        assert s1 == NO_PREG and u.is_ready(s1)
+
+    def test_threads_have_independent_maps(self):
+        u = self._unit(threads=2)
+        d0, _, _, _ = u.rename(0, 3, NO_REG, NO_REG)
+        d1, _, _, _ = u.rename(1, 3, NO_REG, NO_REG)
+        assert d0 != d1
+        assert u.maps[0].lookup(3) == d0
+        assert u.maps[1].lookup(3) == d1
+
+    def test_fp_and_int_pools_separate(self):
+        u = self._unit()
+        di, _, _, _ = u.rename(0, 3, NO_REG, NO_REG)
+        df, _, _, _ = u.rename(0, FP_BASE + 3, NO_REG, NO_REG)
+        assert u.int_free.owns(di)
+        assert u.fp_free.owns(df)
+
+    def test_release_returns_register(self):
+        u = self._unit()
+        before = len(u.int_free)
+        d, old, _, _ = u.rename(0, 3, NO_REG, NO_REG)
+        assert len(u.int_free) == before - 1
+        u.release(old)
+        assert len(u.int_free) == before
+
+    def test_can_rename_tracks_exhaustion(self):
+        u = self._unit()
+        while len(u.int_free):
+            assert u.can_rename(0, 3)
+            u.rename(0, 3, NO_REG, NO_REG)
+        assert not u.can_rename(0, 3)
+        assert u.can_rename(0, NO_REG)  # no dest needed
+        assert u.can_rename(0, FP_BASE + 1)  # fp pool unaffected
+
+    def test_too_many_threads_rejected(self):
+        cfg = tiny_machine()  # 48 phys regs: one thread needs 31
+        with pytest.raises(ValueError, match="cannot"):
+            RenameUnit(cfg, 4)
+
+    def test_reset_restores_initial_state(self):
+        u = self._unit()
+        u.rename(0, 3, NO_REG, NO_REG)
+        free_after_rename = len(u.int_free)
+        u.reset()
+        assert len(u.int_free) == free_after_rename + 1
+        assert u.is_ready(u.maps[0].lookup(3))

@@ -1,0 +1,95 @@
+"""Report formatting and CLI tests."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import (
+    format_table,
+    render_dict,
+    render_figure,
+    render_same_size_ratios,
+)
+from repro.experiments.cli import build_parser, main
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (30, 4.0)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        assert "30" in lines[3]
+
+    def test_float_precision(self):
+        out = format_table(["x"], [(1.23456,)], precision=2)
+        assert "1.23" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestRenderFigure:
+    def _result(self):
+        return FigureResult(
+            figure="figureX", metric="test metric", iq_sizes=(8, 16),
+            series={"traditional": [1.0, 1.1], "2op_block": [0.9, 0.8]},
+        )
+
+    def test_render(self):
+        out = render_figure(self._result())
+        assert "figureX" in out
+        assert "traditional" in out and "2op_block" in out
+
+    def test_ratios(self):
+        out = render_same_size_ratios(self._result(), "2op_block",
+                                      "traditional")
+        assert "-10.0%" in out
+
+    def test_ratios_unknown_series(self):
+        with pytest.raises(KeyError):
+            render_same_size_ratios(self._result(), "nope", "traditional")
+
+
+class TestRenderDict:
+    def test_flat(self):
+        out = render_dict("title", {"a": 1.5})
+        assert "title" in out and "a" in out
+
+    def test_nested(self):
+        out = render_dict("t", {"x": {"y": 2.0}})
+        assert "x.y" in out
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mix_command(self, capsys):
+        rc = main(["mix", "gzip", "--iq", "16", "--insns", "1000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput_ipc" in out
+        assert "gzip" in out
+
+    def test_mix_command_scheduler(self, capsys):
+        rc = main(["mix", "gzip", "parser", "--scheduler", "2op_ooo",
+                   "--insns", "800"])
+        assert rc == 0
+        assert "2op_ooo" in capsys.readouterr().out
+
+    def test_figure_command_smallest(self, capsys):
+        rc = main(["figure", "1", "--iq-sizes", "16", "--insns", "500",
+                   "--mixes", "1"])
+        assert rc == 0
+        assert "figure1" in capsys.readouterr().out
+
+    def test_bad_figure_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "2"])
+
+    def test_stalls_command(self, capsys):
+        rc = main(["stalls", "--insns", "500", "--mixes", "1"])
+        assert rc == 0
+        assert "threads" in capsys.readouterr().out

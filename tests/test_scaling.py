@@ -1,0 +1,43 @@
+"""Scaling-study driver tests (reduced grid)."""
+
+import pytest
+
+from repro.config.presets import small_machine
+from repro.experiments.scaling import ScalingResult, run_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = small_machine(int_phys_regs=192, fp_phys_regs=192)
+    return run_scaling(
+        thread_counts=(2, 3), iq_sizes=(8, 16), max_insns=1000,
+        max_mixes=1, base_config=cfg,
+    )
+
+
+class TestRunScaling:
+    def test_grid_complete(self, result):
+        assert len(result.ipc) == 3 * 2 * 2
+        for key, ipc in result.ipc.items():
+            assert ipc > 0, key
+
+    def test_thread_scaling_normalised(self, result):
+        series = result.thread_scaling("traditional", 16)
+        assert series[0] == pytest.approx(1.0)
+        assert len(series) == 2
+
+    def test_iq_scaling_ratio(self, result):
+        r = result.iq_scaling("traditional", 2)
+        assert r > 0
+
+    def test_rows_sorted(self, result):
+        rows = result.rows()
+        assert len(rows) == 12
+        assert rows == sorted(rows, key=lambda r: (r[0], r[1], r[2]))
+
+    def test_progress_callback(self):
+        lines = []
+        cfg = small_machine()
+        run_scaling(thread_counts=(2,), iq_sizes=(8,), max_insns=600,
+                    max_mixes=1, base_config=cfg, progress=lines.append)
+        assert len(lines) == 3  # one per scheduler

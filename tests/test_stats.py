@@ -1,0 +1,59 @@
+"""PipelineStats derived-metric tests."""
+
+from repro.pipeline.stats import PipelineStats
+
+
+def make_stats(**kw):
+    s = PipelineStats(num_threads=2)
+    for k, v in kw.items():
+        setattr(s, k, v)
+    return s
+
+
+class TestDerivedMetrics:
+    def test_throughput_and_per_thread(self):
+        s = make_stats(cycles=10, committed=[20, 10], committed_total=30)
+        assert s.throughput_ipc == 3.0
+        assert s.per_thread_ipc == [2.0, 1.0]
+
+    def test_zero_cycles_guards(self):
+        s = PipelineStats(num_threads=2)
+        assert s.throughput_ipc == 0.0
+        assert s.per_thread_ipc == [0.0, 0.0]
+        assert s.all_blocked_2op_fraction == 0.0
+        assert s.mean_iq_occupancy == 0.0
+
+    def test_blocked_fraction(self):
+        s = make_stats(cycles=100, all_blocked_2op_cycles=43)
+        assert s.all_blocked_2op_fraction == 0.43
+
+    def test_residency(self):
+        s = make_stats(iq_residency_sum=150, iq_residency_count=10)
+        assert s.mean_iq_residency == 15.0
+        assert PipelineStats(num_threads=1).mean_iq_residency == 0.0
+
+    def test_hdi_fraction(self):
+        s = make_stats(hdi_piled_samples=100, hdi_piled_dispatchable=90)
+        assert s.hdi_fraction == 0.9
+        assert PipelineStats(num_threads=1).hdi_fraction == 0.0
+
+    def test_ndi_dependent_fraction(self):
+        s = make_stats(ooo_dispatched=50, ooo_ndi_dependent=5)
+        assert s.ooo_ndi_dependent_fraction == 0.1
+
+    def test_branch_rate(self):
+        s = make_stats(branch_lookups=200, branch_mispredicts=10)
+        assert s.branch_mispredict_rate == 0.05
+
+    def test_as_dict_keys(self):
+        d = PipelineStats(num_threads=1).as_dict()
+        for key in ("throughput_ipc", "all_blocked_2op_fraction",
+                    "mean_iq_residency", "hdi_fraction",
+                    "ooo_ndi_dependent_fraction", "watchdog_flushes"):
+            assert key in d
+
+    def test_per_thread_lists_sized(self):
+        s = PipelineStats(num_threads=3)
+        assert len(s.committed) == 3
+        assert len(s.fetched_per_thread) == 3
+        assert len(s.blocked_2op_cycles) == 3

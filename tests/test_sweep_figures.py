@@ -1,0 +1,103 @@
+"""Sweep and figure-driver tests (scaled-down grids)."""
+
+import pytest
+
+from repro.config.presets import small_machine
+from repro.experiments.figures import figure1, figure3, figure7
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.workloads.mixes import TWO_THREAD_MIXES
+
+CFG = small_machine()
+GRID = dict(iq_sizes=(8, 16), max_insns=1200, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        TWO_THREAD_MIXES[:2], CFG,
+        schedulers=("traditional", "2op_block"), **GRID
+    )
+
+
+class TestRunSweep:
+    def test_grid_complete(self, sweep):
+        assert len(sweep.results) == 2 * 2 * 2
+        for sched in ("traditional", "2op_block"):
+            for iq in (8, 16):
+                for mix in TWO_THREAD_MIXES[:2]:
+                    r = sweep.get(sched, iq, mix.name)
+                    assert r.scheduler == sched
+                    assert r.iq_size == iq
+
+    def test_hmean_ipc(self, sweep):
+        h = sweep.hmean_ipc("traditional", 16)
+        ipcs = [
+            sweep.get("traditional", 16, m.name).throughput_ipc
+            for m in TWO_THREAD_MIXES[:2]
+        ]
+        assert min(ipcs) <= h <= max(ipcs)
+
+    def test_mean_extra(self, sweep):
+        v = sweep.mean_extra("2op_block", 16, "all_blocked_2op_fraction")
+        assert 0.0 <= v <= 1.0
+        with pytest.raises(KeyError):
+            sweep.mean_extra("2op_block", 999, "all_blocked_2op_fraction")
+
+    def test_mix_names(self, sweep):
+        assert sweep.mix_names() == sorted(
+            m.name for m in TWO_THREAD_MIXES[:2]
+        )
+
+    def test_progress_callback(self):
+        lines = []
+        run_sweep(
+            TWO_THREAD_MIXES[:1], CFG, schedulers=("traditional",),
+            iq_sizes=(8,), max_insns=600, progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "traditional" in lines[0]
+
+    def test_fairness_sweep(self):
+        s = run_sweep(
+            TWO_THREAD_MIXES[:1], CFG, schedulers=("traditional",),
+            iq_sizes=(8,), max_insns=800, with_fairness=True,
+        )
+        assert s.hmean_fairness("traditional", 8) > 0
+
+
+class TestFigureDrivers:
+    def test_figure1_structure(self):
+        result = figure1(
+            max_insns=800, iq_sizes=(8, 16), thread_counts=(2,),
+            max_mixes=1, base_config=CFG,
+        )
+        assert result.iq_sizes == (8, 16)
+        assert list(result.series) == ["2 threads"]
+        assert len(result.series["2 threads"]) == 2
+        assert all(v > 0 for v in result.series["2 threads"])
+
+    def test_figure3_structure_and_normalisation(self):
+        result = figure3(
+            max_insns=800, iq_sizes=(8, 16), max_mixes=1, base_config=CFG,
+        )
+        assert set(result.series) == {"traditional", "2op_block", "2op_ooo"}
+        # Normalised to traditional at the smallest size.
+        assert result.series["traditional"][0] == pytest.approx(1.0)
+
+    def test_figure_rows_and_speedup(self):
+        result = figure3(
+            max_insns=800, iq_sizes=(8,), max_mixes=1, base_config=CFG,
+        )
+        rows = result.rows()
+        assert rows[0][0] == 8
+        ratios = result.speedup_over("2op_ooo", "2op_block")
+        assert len(ratios) == 1 and ratios[0] > 0
+
+    def test_figure7_uses_four_thread_mixes(self):
+        # small_machine's register file cannot back 4 threads; widen it.
+        cfg = CFG.replace(int_phys_regs=192, fp_phys_regs=192)
+        result = figure7(
+            max_insns=800, iq_sizes=(8,), max_mixes=1, base_config=cfg,
+        )
+        r = result.sweep.get("traditional", 8, "4t-mix1")
+        assert r.num_threads == 4

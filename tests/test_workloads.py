@@ -1,0 +1,82 @@
+"""Workload table tests (paper Tables 2-4)."""
+
+import pytest
+
+from repro.trace.profiles import PROFILES
+from repro.workloads.mixes import (
+    FOUR_THREAD_MIXES,
+    THREE_THREAD_MIXES,
+    TWO_THREAD_MIXES,
+    Mix,
+    mixes_for_threads,
+)
+from repro.workloads.spec2000 import CFP2000, CINT2000, SPEC2000, ilp_class_of
+
+
+class TestRoster:
+    def test_26_programs(self):
+        assert len(SPEC2000) == 26
+        assert len(CINT2000) == 12
+        assert len(CFP2000) == 14
+
+    def test_no_overlap(self):
+        assert not set(CINT2000) & set(CFP2000)
+
+    def test_ilp_class_of(self):
+        assert ilp_class_of("mcf") == "low"
+        assert ilp_class_of("mgrid") == "high"
+
+
+class TestMixTables:
+    @pytest.mark.parametrize("table,threads", [
+        (TWO_THREAD_MIXES, 2),
+        (THREE_THREAD_MIXES, 3),
+        (FOUR_THREAD_MIXES, 4),
+    ])
+    def test_twelve_mixes_each(self, table, threads):
+        assert len(table) == 12
+        for mix in table:
+            assert mix.num_threads == threads
+            for b in mix.benchmarks:
+                assert b in PROFILES
+
+    def test_paper_table3_contents(self):
+        """Spot-check the 2-thread mixes against the paper's Table 3."""
+        assert TWO_THREAD_MIXES[0].benchmarks == ("equake", "lucas")
+        assert TWO_THREAD_MIXES[6].benchmarks == ("parser", "vortex")
+        assert TWO_THREAD_MIXES[11].benchmarks == ("ammp", "gzip")
+
+    def test_paper_table4_contents(self):
+        assert THREE_THREAD_MIXES[0].benchmarks == ("mgrid", "equake", "art")
+        assert THREE_THREAD_MIXES[8].benchmarks == ("art", "lucas", "galgel")
+
+    def test_paper_table2_contents(self):
+        assert FOUR_THREAD_MIXES[0].benchmarks == (
+            "mgrid", "equake", "art", "lucas")
+        assert FOUR_THREAD_MIXES[11].benchmarks == (
+            "vortex", "mesa", "mgrid", "eon")
+
+    def test_mixes_for_threads(self):
+        assert mixes_for_threads(2) is TWO_THREAD_MIXES
+        assert mixes_for_threads(3) is THREE_THREAD_MIXES
+        assert mixes_for_threads(4) is FOUR_THREAD_MIXES
+        with pytest.raises(ValueError):
+            mixes_for_threads(5)
+
+    def test_mix_names_unique(self):
+        names = [m.name for t in (2, 3, 4) for m in mixes_for_threads(t)]
+        assert len(names) == len(set(names))
+
+
+class TestMixClass:
+    def test_classification_string(self):
+        mix = Mix("x", ("mcf", "gzip"))
+        assert mix.classification == "1 LOW + 1 HIGH"
+
+    def test_homogeneous_classification(self):
+        mix = Mix("x", ("equake", "lucas"))
+        assert mix.classification == "2 LOW"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            Mix("x", ("gzip", "quake3"))
