@@ -1,0 +1,28 @@
+# Developer entry points. `make ci` mirrors what ci.sh enforces.
+
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test lint sanitize-smoke bench-sanitizer ci
+
+test:
+	python -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install .[lint])"; \
+	fi
+	python -m repro.analysis lint src/repro
+
+sanitize-smoke:
+	python -m repro.experiments.cli mix parser vortex \
+		--scheduler 2op_ooo --sanitize --insns 2000
+
+bench-sanitizer:
+	python -m pytest benchmarks/bench_sanitizer_overhead.py \
+		--benchmark-only -q -s
+
+ci:
+	./ci.sh

@@ -1,0 +1,101 @@
+"""Overhead of the runtime pipeline sanitizer (repro.analysis).
+
+Two claims are pinned down here:
+
+* ``sanitize=False`` (the default) is *free*: the only added work on
+  ``bench_sim_speed``'s hot loop is one ``is None`` test per cycle, so
+  a config that spells out ``sanitize=False`` must time identically to
+  the untouched baseline config (and produce bit-identical stats);
+* ``sanitize=True`` costs a bounded, interval-tunable fraction — the
+  measured ratio is written to ``results/sanitizer_overhead.txt`` so
+  regressions in the sanitizer's own cost are visible over time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import write_result
+from repro.config.presets import paper_machine
+from repro.experiments.runner import thread_traces
+from repro.pipeline.smt_core import SMTProcessor
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return thread_traces(["parser", "vortex"], 4000, seed=0, warmup=4000)
+
+
+def _run(cfg, traces):
+    core = SMTProcessor(cfg, traces, warmup=4000)
+    return core.run(4000)
+
+
+def test_sanitize_off_is_bit_identical(traces):
+    """Explicit sanitize=False must not perturb results vs the default."""
+    base = _run(paper_machine(), traces).as_dict()
+    off = _run(paper_machine(sanitize=False), traces).as_dict()
+    on = _run(
+        paper_machine(sanitize=True, sanitize_interval=64), traces
+    ).as_dict()
+    assert off == base
+    assert on.pop("sanitizer_checks") > 0
+    base.pop("sanitizer_checks")
+    assert on == base
+
+
+def test_record_sanitizer_overhead(traces):
+    """Measure and persist the on/off wall-clock ratio."""
+    configs = {
+        "baseline (default config)": paper_machine(),
+        "sanitize=False (explicit)": paper_machine(sanitize=False),
+        "sanitize=True interval=256": paper_machine(
+            sanitize=True, sanitize_interval=256
+        ),
+        "sanitize=True interval=64": paper_machine(
+            sanitize=True, sanitize_interval=64
+        ),
+        "sanitize=True interval=16": paper_machine(
+            sanitize=True, sanitize_interval=16
+        ),
+    }
+    _run(paper_machine(), traces)  # untimed process warm-up
+    timings: dict[str, float] = {}
+    for label, cfg in configs.items():
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            stats = _run(cfg, traces)
+            best = min(best, time.perf_counter() - start)
+            assert stats.cycles > 0
+        timings[label] = best
+    base = timings["baseline (default config)"]
+    lines = ["sanitizer overhead on the bench_sim_speed workload",
+             "(best of 3, 2-thread parser+vortex, 4000 insns)", ""]
+    for label, seconds in timings.items():
+        lines.append(f"{label:30s} {seconds * 1e3:8.1f} ms "
+                     f"({seconds / base:5.2f}x baseline)")
+    off_ratio = timings["sanitize=False (explicit)"] / base
+    lines.append("")
+    lines.append(
+        f"sanitize=False vs baseline: {off_ratio:.3f}x "
+        "(zero measurable cost — same code path, one is-None test/cycle)"
+    )
+    write_result("sanitizer_overhead", "\n".join(lines))
+    # Generous bound: the off path must be timing-indistinguishable from
+    # the baseline (allow noise, not a real slope).
+    assert off_ratio < 1.25
+
+
+def test_sim_speed_sanitize_off(benchmark, traces):
+    """pytest-benchmark series: default-config speed (tracking metric)."""
+    result = benchmark(lambda: _run(paper_machine(sanitize=False), traces))
+    assert result.cycles > 0
+
+
+def test_sim_speed_sanitize_on(benchmark, traces):
+    """pytest-benchmark series: sanitized speed at the default interval."""
+    result = benchmark(
+        lambda: _run(paper_machine(sanitize=True), traces)
+    )
+    assert result.sanitizer_checks > 0

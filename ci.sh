@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests, lint (ruff + the custom repro.analysis pass),
+# and a short fully-sanitized end-to-end simulation.
+set -euo pipefail
+cd "$(dirname "$0")"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== lint: ruff (generic hygiene) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks
+else
+    echo "ruff not installed; skipping (pip install .[lint])"
+fi
+
+echo "== lint: repro.analysis (simulator-specific rules) =="
+python -m repro.analysis lint src/repro
+
+echo "== sanitized smoke simulation (2-thread mix, 5000 cycles) =="
+python - <<'PY'
+from repro.config.presets import paper_machine
+from repro.experiments.runner import thread_traces
+from repro.pipeline.smt_core import SMTProcessor
+
+cfg = paper_machine(scheduler="2op_ooo").replace(
+    sanitize=True, sanitize_interval=16
+)
+traces = thread_traces(["parser", "vortex"], 6000, seed=0, warmup=2000)
+core = SMTProcessor(cfg, traces, warmup=2000)
+stats = core.run(max_insns=6000, max_cycles=5000)
+assert stats.sanitizer_checks > 0, "sanitizer never ran"
+assert stats.committed_total > 0, "nothing committed"
+print(
+    f"ok: {stats.cycles} cycles, {stats.committed_total} committed, "
+    f"{stats.sanitizer_checks} sanitizer checks, no violations"
+)
+PY
+
+echo "CI OK"

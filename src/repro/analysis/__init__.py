@@ -1,0 +1,39 @@
+"""Correctness tooling for the reproduction (`repro.analysis`).
+
+Two cooperating layers guard the invariants the paper's claims rest on
+(renaming/ROB/LSQ allocation stay in program order while dispatch goes
+out of order, one-comparator IQ entries never wait on two tags, the
+deadlock-avoidance buffer guarantees forward progress):
+
+* :mod:`repro.analysis.lint` — a custom AST lint pass with
+  simulator-specific rules (``python -m repro.analysis lint src/repro``),
+  each with an error code, ``# repro: noqa[CODE]`` suppression and a
+  machine-readable ``--json`` output;
+* :mod:`repro.analysis.sanitizer` — a runtime pipeline sanitizer that,
+  when enabled via ``MachineConfig.sanitize=True``, re-validates the
+  microarchitectural invariants every ``sanitize_interval`` cycles inside
+  the :class:`~repro.pipeline.smt_core.SMTProcessor` cycle loop and
+  raises a structured :class:`~repro.analysis.sanitizer.SanitizerViolation`
+  naming the invariant, cycle, thread and instruction.
+
+See ``docs/analysis.md`` for the rule/invariant catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import LINT_RULES, Violation, lint_paths, lint_source
+from repro.analysis.sanitizer import (
+    INVARIANTS,
+    PipelineSanitizer,
+    SanitizerViolation,
+)
+
+__all__ = [
+    "LINT_RULES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "INVARIANTS",
+    "PipelineSanitizer",
+    "SanitizerViolation",
+]

@@ -1,0 +1,17 @@
+"""``python -m repro.analysis`` — CLI front door for the lint pass."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Stdout was closed early (e.g. `lint --json | head`); exit
+        # quietly like a well-behaved Unix filter.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)

@@ -1,0 +1,284 @@
+"""Runtime microarchitectural sanitizer for the SMT pipeline.
+
+The paper's correctness argument (§4) is that out-of-order *dispatch* is
+safe because renaming and ROB/LSQ allocation stay in program order, the
+reduced issue queue never holds an entry waiting on two tags, and the
+deadlock-avoidance buffer guarantees forward progress. This module turns
+those prose invariants into machine checks that run *inside* the cycle
+loop, the way an address/thread sanitizer rides along a compiled
+program: enable with ``MachineConfig.sanitize=True`` and every
+``sanitize_interval`` cycles the whole in-flight window is re-validated.
+
+Unlike :meth:`repro.pipeline.smt_core.SMTProcessor.validate` (a
+test-only helper), the sanitizer is stateful across checks — it tracks
+commit watermarks and detects *starvation*, not just instantaneous
+inconsistency — and it raises a structured :class:`SanitizerViolation`
+naming the invariant, cycle, thread and instruction, so fault-injection
+tests and triage scripts can key on the failure precisely.
+
+With ``sanitize=False`` (the default) the core holds no sanitizer object
+and pays one ``is None`` test per cycle; ``bench_sanitizer_overhead``
+records that this is unmeasurable against ``bench_sim_speed``.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.dynamic import DynInstr
+
+#: Invariant identifiers a :class:`SanitizerViolation` may carry.
+INVARIANTS = (
+    "rob-program-order",
+    "rename-program-order",
+    "lsq-alloc-order",
+    "iq-capacity",
+    "iq-one-comparator",
+    "iq-dab-exclusion",
+    "wakeup-consistency",
+    "issue-starvation",
+    "commit-monotonicity",
+)
+
+
+class SanitizerViolation(Exception):
+    """A microarchitectural invariant failed during simulation.
+
+    Attributes:
+        invariant: one of :data:`INVARIANTS`.
+        cycle: simulation cycle at which the check ran.
+        tid: offending hardware thread, or None for global structures.
+        instr: offending :class:`DynInstr`, or None.
+        detail: human-readable elaboration.
+    """
+
+    def __init__(self, invariant: str, cycle: int, tid: int | None = None,
+                 instr: DynInstr | None = None, detail: str = "") -> None:
+        if invariant not in INVARIANTS:
+            raise ValueError(f"unknown invariant {invariant!r}")
+        self.invariant = invariant
+        self.cycle = cycle
+        self.tid = tid
+        self.instr = instr
+        self.detail = detail
+        parts = [f"[{invariant}] at cycle {cycle}"]
+        if tid is not None:
+            parts.append(f"thread {tid}")
+        if instr is not None:
+            parts.append(repr(instr))
+        if detail:
+            parts.append(detail)
+        super().__init__(": ".join((parts[0], "; ".join(parts[1:])))
+                         if len(parts) > 1 else parts[0])
+
+
+class PipelineSanitizer:
+    """Periodic whole-window invariant checker for one ``SMTProcessor``.
+
+    The core constructs one of these when ``cfg.sanitize`` is set and
+    calls :meth:`check` from ``step()`` every ``cfg.sanitize_interval``
+    cycles. Each check is O(in-flight window); with the default interval
+    the amortised cost stays a small fraction of simulation time.
+    """
+
+    __slots__ = (
+        "core",
+        "interval",
+        "starvation_bound",
+        "_prev_cycles",
+        "_prev_committed_total",
+        "_prev_committed",
+        "_prev_head_tseq",
+    )
+
+    def __init__(self, core) -> None:
+        cfg = core.cfg
+        self.core = core
+        self.interval = cfg.sanitize_interval
+        self.starvation_bound = cfg.sanitize_starvation_bound
+        self._prev_cycles = 0
+        self._prev_committed_total = 0
+        self._prev_committed = [0] * core.num_threads
+        self._prev_head_tseq = [-1] * core.num_threads
+
+    # ------------------------------------------------------------------
+    def check(self, cycle: int) -> None:
+        """Validate every invariant; raises :class:`SanitizerViolation`."""
+        self._check_program_order(cycle)
+        self._check_lsq_alloc_order(cycle)
+        self._check_iq(cycle)
+        self._check_dab(cycle)
+        self._check_commit_monotonicity(cycle)
+        self.core.stats.sanitizer_checks += 1
+
+    # ------------------------------------------------------------------
+    def _check_program_order(self, cycle: int) -> None:
+        """ROB entries and their rename stamps follow program order."""
+        for ts in self.core.threads:
+            bad = ts.rob.first_order_violation()
+            if bad is not None:
+                raise SanitizerViolation(
+                    "rob-program-order", cycle, tid=ts.tid, instr=bad,
+                    detail="ROB allocation left program order",
+                )
+            prev_rename = -1
+            for instr in ts.rob:
+                if 0 <= instr.rename_cycle < prev_rename:
+                    raise SanitizerViolation(
+                        "rename-program-order", cycle, tid=ts.tid,
+                        instr=instr,
+                        detail=f"renamed at {instr.rename_cycle} after a "
+                               f"younger-renamed predecessor ({prev_rename})",
+                    )
+                prev_rename = max(prev_rename, instr.rename_cycle)
+
+    def _check_lsq_alloc_order(self, cycle: int) -> None:
+        """LSQ allocation happened in program order within bounds."""
+        for ts in self.core.threads:
+            lsq = ts.lsq
+            if not lsq.alloc_order_ok:
+                raise SanitizerViolation(
+                    "lsq-alloc-order", cycle, tid=ts.tid,
+                    detail=f"out-of-order LSQ allocation observed "
+                           f"(last tseq {lsq.last_alloc_tseq})",
+                )
+            if not 0 <= lsq.count <= lsq.capacity:
+                raise SanitizerViolation(
+                    "lsq-alloc-order", cycle, tid=ts.tid,
+                    detail=f"LSQ occupancy {lsq.count} outside "
+                           f"[0, {lsq.capacity}]",
+                )
+
+    def _check_iq(self, cycle: int) -> None:
+        """IQ occupancy, comparator budget, wakeup state and starvation."""
+        core = self.core
+        iq = core.iq
+        if not 0 <= iq.occupancy <= iq.capacity:
+            raise SanitizerViolation(
+                "iq-capacity", cycle,
+                detail=f"IQ occupancy {iq.occupancy} outside "
+                       f"[0, {iq.capacity}]",
+            )
+        comparators = min(
+            iq.comparators_per_entry, core.policy.max_nonready_sources
+        )
+        census = iq.waiting_census()
+        resident = 0
+        bound = self.starvation_bound
+        for ts in core.threads:
+            for instr in ts.rob:
+                if not instr.in_iq:
+                    continue
+                resident += 1
+                pending = len(iq.nonready_sources(instr))
+                if instr.num_waiting > comparators or pending > comparators:
+                    raise SanitizerViolation(
+                        "iq-one-comparator", cycle, tid=ts.tid, instr=instr,
+                        detail=f"entry tracks {max(instr.num_waiting, pending)}"
+                               f" non-ready tags but has {comparators} "
+                               "comparator(s)",
+                    )
+                registered = census.get(id(instr), 0)
+                if instr.num_waiting < 0 or (
+                    instr.num_waiting != registered
+                ):
+                    raise SanitizerViolation(
+                        "wakeup-consistency", cycle, tid=ts.tid, instr=instr,
+                        detail=f"num_waiting={instr.num_waiting} but "
+                               f"{registered} wakeup registration(s)",
+                    )
+                if instr.num_waiting > 0 and pending == 0:
+                    raise SanitizerViolation(
+                        "wakeup-consistency", cycle, tid=ts.tid, instr=instr,
+                        detail="waiting on tag(s) that are already ready "
+                               "(missed wakeup broadcast)",
+                    )
+                if (
+                    instr.num_waiting == 0
+                    and not instr.issued
+                    and instr.dispatch_cycle >= 0
+                    and cycle - instr.dispatch_cycle > bound
+                ):
+                    raise SanitizerViolation(
+                        "issue-starvation", cycle, tid=ts.tid, instr=instr,
+                        detail=f"ready since dispatch at cycle "
+                               f"{instr.dispatch_cycle}, unissued for more "
+                               f"than {bound} cycles",
+                    )
+        if resident != iq.occupancy:
+            raise SanitizerViolation(
+                "iq-capacity", cycle,
+                detail=f"IQ occupancy counter {iq.occupancy} != {resident} "
+                       "resident in-flight entries",
+            )
+
+    def _check_dab(self, cycle: int) -> None:
+        """DAB bounds, IQ/DAB exclusion and the ROB-oldest readiness."""
+        core = self.core
+        for ts in core.threads:
+            for instr in ts.rob:
+                if instr.in_iq and instr.in_dab:
+                    raise SanitizerViolation(
+                        "iq-dab-exclusion", cycle, tid=ts.tid, instr=instr,
+                        detail="resident in the IQ and the deadlock-"
+                               "avoidance buffer simultaneously",
+                    )
+        dab = core.dab
+        if dab is None:
+            return
+        if len(dab.entries) > dab.size:
+            raise SanitizerViolation(
+                "iq-dab-exclusion", cycle,
+                detail=f"DAB holds {len(dab.entries)} entries but has "
+                       f"{dab.size} slot(s)",
+            )
+        bad = dab.first_invalid_entry(core.renamer.ready)
+        if bad is not None:
+            raise SanitizerViolation(
+                "iq-dab-exclusion", cycle, tid=bad.tid, instr=bad,
+                detail="DAB entry is not a flagged, unissued instruction "
+                       "with all sources ready (ROB-oldest property)",
+            )
+
+    def _check_commit_monotonicity(self, cycle: int) -> None:
+        """Committed counts and retirement watermarks never regress."""
+        core = self.core
+        stats = core.stats
+        if stats.cycles < self._prev_cycles:
+            raise SanitizerViolation(
+                "commit-monotonicity", cycle,
+                detail=f"cycle counter regressed "
+                       f"{self._prev_cycles} -> {stats.cycles}",
+            )
+        if stats.committed_total < self._prev_committed_total:
+            raise SanitizerViolation(
+                "commit-monotonicity", cycle,
+                detail=f"committed_total regressed "
+                       f"{self._prev_committed_total} -> "
+                       f"{stats.committed_total}",
+            )
+        if sum(stats.committed) != stats.committed_total:
+            raise SanitizerViolation(
+                "commit-monotonicity", cycle,
+                detail=f"per-thread commits {stats.committed} do not sum "
+                       f"to committed_total {stats.committed_total}",
+            )
+        self._prev_cycles = stats.cycles
+        self._prev_committed_total = stats.committed_total
+        for ts in core.threads:
+            tid = ts.tid
+            if stats.committed[tid] < self._prev_committed[tid]:
+                raise SanitizerViolation(
+                    "commit-monotonicity", cycle, tid=tid,
+                    detail=f"per-thread commit count regressed "
+                           f"{self._prev_committed[tid]} -> "
+                           f"{stats.committed[tid]}",
+                )
+            self._prev_committed[tid] = stats.committed[tid]
+            head = ts.rob.head
+            if head is not None:
+                if head.tseq < self._prev_head_tseq[tid]:
+                    raise SanitizerViolation(
+                        "commit-monotonicity", cycle, tid=tid, instr=head,
+                        detail=f"ROB head tseq regressed below watermark "
+                               f"{self._prev_head_tseq[tid]}",
+                    )
+                self._prev_head_tseq[tid] = head.tseq

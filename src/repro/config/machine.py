@@ -159,6 +159,18 @@ class MachineConfig:
     #: front-end refill itself is modelled by the pipe depth).
     mispredict_redirect_penalty: int = 1
 
+    # -- sanitizer (repro.analysis) ---------------------------------------
+    #: Validate microarchitectural invariants inside the cycle loop (see
+    #: :mod:`repro.analysis.sanitizer`). Off by default: experiments pay
+    #: a single pointer test per cycle.
+    sanitize: bool = False
+    #: Cycles between whole-window sanitizer checks when enabled.
+    sanitize_interval: int = 64
+    #: A ready IQ entry unissued for longer than this raises
+    #: ``issue-starvation`` (generous: normal select latency is tens of
+    #: cycles even under full FU contention).
+    sanitize_starvation_bound: int = 50_000
+
     # -- substrates -------------------------------------------------------
     mem: MemoryConfig = field(default_factory=MemoryConfig)
     bp: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
@@ -184,6 +196,8 @@ class MachineConfig:
             "fu_mem_ports",
             "fu_fp_add",
             "fu_fp_muldiv",
+            "sanitize_interval",
+            "sanitize_starvation_bound",
         ):
             check_positive(name, getattr(self, name))
         check_range("frontend_depth", self.frontend_depth, 2, 20)

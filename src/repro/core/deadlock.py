@@ -45,6 +45,21 @@ class DeadlockAvoidanceBuffer:
         self.entries.append(instr)
         self.inserts += 1
 
+    def first_invalid_entry(self, ready_bits: bytearray) -> DynInstr | None:
+        """First entry violating the buffer's §4 contract, if any.
+
+        A resident instruction must be flagged ``in_dab``, unissued, and
+        — being ROB-oldest when inserted — have every renamed source
+        already ready. Used by the pipeline sanitizer.
+        """
+        for instr in self.entries:
+            if not instr.in_dab or instr.issued:
+                return instr
+            for src in (instr.src1_p, instr.src2_p):
+                if src >= 0 and not ready_bits[src]:
+                    return instr
+        return None
+
     def clear(self) -> None:
         """Drop all entries (watchdog flush)."""
         for instr in self.entries:

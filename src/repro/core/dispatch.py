@@ -18,10 +18,14 @@ class DispatchPolicy:
             issue queue with a single tag comparator per entry.
         supports_ooo: True when the policy may dispatch instructions out
             of program order within a thread (enables deadlock handling).
+        max_nonready_sources: most distinct non-ready source tags an
+            instruction admitted by this policy may carry — the contract
+            the pipeline sanitizer checks against resident IQ entries.
     """
 
     needs_reduced_iq = False
     supports_ooo = False
+    max_nonready_sources = 2
 
     def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:
         """Dispatch up to ``budget`` instructions from thread ``ts``.

@@ -122,6 +122,20 @@ class IssueQueue:
         """Accumulate per-cycle occupancy statistics."""
         self.occupancy_integral += self.occupancy
 
+    def waiting_census(self) -> dict[int, int]:
+        """``id(instr) -> live wakeup registrations`` over all tags.
+
+        Used by the pipeline sanitizer to cross-check each entry's
+        ``num_waiting`` against the index actually consulted by
+        :meth:`wakeup`; a mismatch means a wakeup can be missed.
+        """
+        census: dict[int, int] = {}
+        for waiters in self.waiting.values():
+            for instr in waiters:
+                key = id(instr)
+                census[key] = census.get(key, 0) + 1
+        return census
+
     # ------------------------------------------------------------------
     def drain_ready(self) -> list[DynInstr]:
         """Pop every currently-ready entry, oldest first (tests only)."""

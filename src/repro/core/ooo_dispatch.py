@@ -24,6 +24,7 @@ class OutOfOrderDispatch(DispatchPolicy):
 
     needs_reduced_iq = True
     supports_ooo = True
+    max_nonready_sources = 1
 
     def __init__(self, filtered: bool = False) -> None:
         self.filtered = filtered

@@ -18,6 +18,7 @@ class TwoOpBlockDispatch(DispatchPolicy):
     """In-order dispatch that refuses instructions with 2 non-ready sources."""
 
     needs_reduced_iq = True
+    max_nonready_sources = 1
 
     def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:
         iq = core.iq

@@ -65,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iq", type=int, default=64)
     p.add_argument("--scheduler", choices=SCHEDULER_KINDS,
                    default="traditional")
+    p.add_argument("--sanitize", action="store_true",
+                   help="validate microarchitectural invariants during the "
+                        "run (repro.analysis pipeline sanitizer)")
     _add_common(p)
 
     return parser
@@ -162,7 +165,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.runner import simulate_mix
         from repro.experiments.report import render_dict
 
-        cfg = paper_machine(iq_size=args.iq, scheduler=args.scheduler)
+        cfg = paper_machine(iq_size=args.iq, scheduler=args.scheduler,
+                            sanitize=args.sanitize)
         result = simulate_mix(
             args.benchmarks, cfg, max_insns=args.insns, seed=args.seed
         )
@@ -179,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
                 result.extra("all_blocked_2op_fraction"),
             "mean_iq_residency": result.extra("mean_iq_residency"),
         }
+        if args.sanitize:
+            summary["sanitizer_checks"] = result.extra("sanitizer_checks")
         print(render_dict(
             f"{'+'.join(args.benchmarks)} @ {args.scheduler}/iq{args.iq}",
             summary,

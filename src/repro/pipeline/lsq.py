@@ -20,7 +20,8 @@ from repro.pipeline.dynamic import DynInstr
 class LoadStoreQueue:
     """Occupancy tracking plus store-to-load forwarding for one thread."""
 
-    __slots__ = ("capacity", "count", "_stores", "forwards")
+    __slots__ = ("capacity", "count", "_stores", "forwards",
+                 "last_alloc_tseq", "alloc_order_ok")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -30,6 +31,10 @@ class LoadStoreQueue:
         #: address -> per-address FIFO of store tseqs still in flight.
         self._stores: dict[int, list[int]] = {}
         self.forwards = 0
+        #: program-order watermark + flag read by the pipeline sanitizer
+        #: (allocation must stay in program order even under OOO dispatch).
+        self.last_alloc_tseq = -1
+        self.alloc_order_ok = True
 
     # ------------------------------------------------------------------
     @property
@@ -41,6 +46,10 @@ class LoadStoreQueue:
         """Reserve an entry at rename; stores become forwarding sources."""
         if self.full:
             raise RuntimeError("LSQ overflow (rename stage bug)")
+        if instr.tseq <= self.last_alloc_tseq:
+            self.alloc_order_ok = False
+        else:
+            self.last_alloc_tseq = instr.tseq
         self.count += 1
         if instr.is_store:
             self._stores.setdefault(instr.addr, []).append(instr.tseq)
@@ -70,3 +79,5 @@ class LoadStoreQueue:
         """Drop all state (watchdog flush)."""
         self.count = 0
         self._stores.clear()
+        self.last_alloc_tseq = -1
+        self.alloc_order_ok = True

@@ -41,6 +41,19 @@ class ReorderBuffer:
         """Remove and return the (completed) head instruction."""
         return self._entries.popleft()
 
+    def first_order_violation(self) -> DynInstr | None:
+        """First entry breaking per-thread program (tseq) order, if any.
+
+        Used by the pipeline sanitizer: ROB allocation must happen in
+        program order even when dispatch is out of order (paper §4).
+        """
+        prev = -1
+        for instr in self._entries:
+            if instr.tseq <= prev:
+                return instr
+            prev = instr.tseq
+        return None
+
     def clear(self) -> None:
         """Drop all entries (watchdog flush)."""
         self._entries.clear()

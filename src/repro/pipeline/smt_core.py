@@ -93,6 +93,13 @@ class SMTProcessor:
         #: cycle -> instructions finishing execution (completion).
         self._done_events: dict[int, list[DynInstr]] = {}
         self._last_commit_cycle = 0
+        self.sanitizer = None
+        if cfg.sanitize:
+            # Imported lazily: the analysis layer sits above the pipeline
+            # and costs nothing when sanitizing is off.
+            from repro.analysis.sanitizer import PipelineSanitizer
+
+            self.sanitizer = PipelineSanitizer(self)
         self._install_residency()
         if warmup:
             self._warm_up(warmup)
@@ -459,7 +466,9 @@ class SMTProcessor:
 
         Intended for tests and debugging — it walks every in-flight
         instruction, so it is far too slow to run per cycle in
-        experiments.
+        experiments. For periodic in-run checking with structured
+        failures, enable ``MachineConfig.sanitize`` instead
+        (:mod:`repro.analysis.sanitizer`).
         """
         in_iq = 0
         for ts in self.threads:
@@ -511,6 +520,9 @@ class SMTProcessor:
         self.iq.tick()
         self.stats.cycles += 1
         self.cycle = cycle + 1
+        sanitizer = self.sanitizer
+        if sanitizer is not None and cycle % sanitizer.interval == 0:
+            sanitizer.check(cycle)
 
     def run(self, max_insns: int, max_cycles: int = 5_000_000,
             ) -> PipelineStats:

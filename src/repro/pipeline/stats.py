@@ -55,6 +55,9 @@ class PipelineStats:
     iq_residency_count: int = 0
     iq_occupancy_integral: int = 0
 
+    # -- correctness tooling (repro.analysis) -------------------------------
+    sanitizer_checks: int = 0
+
     # -- memory / branch (filled from substrates at the end of a run) -------
     branch_lookups: int = 0
     branch_mispredicts: int = 0
@@ -140,4 +143,5 @@ class PipelineStats:
             "watchdog_flushes": self.watchdog_flushes,
             "branch_mispredict_rate": self.branch_mispredict_rate,
             "store_forwards": self.store_forwards,
+            "sanitizer_checks": self.sanitizer_checks,
         }

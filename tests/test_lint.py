@@ -1,0 +1,241 @@
+"""Tests for the custom AST lint pass (``repro.analysis.lint``).
+
+Each rule gets fixture snippets that must trigger it (and near-miss
+snippets that must not), plus an end-to-end check that the shipped
+``src/repro`` tree is clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import (
+    LINT_RULES,
+    discover_declared_counters,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+DECLARED = frozenset({"cycles", "committed", "committed_total", "issued"})
+
+
+def codes(source: str, path: str = "repro/core/example.py",
+          declared=DECLARED) -> list[str]:
+    return [
+        v.code
+        for v in lint_source(source, path=path, declared_counters=declared)
+    ]
+
+
+# ----------------------------------------------------------------------
+# RPR001 — determinism (wall clock / random)
+# ----------------------------------------------------------------------
+class TestRPR001:
+    def test_import_random(self):
+        assert codes("import random\n") == ["RPR001"]
+
+    def test_import_time(self):
+        assert codes("import time\n") == ["RPR001"]
+
+    def test_from_import(self):
+        assert codes("from random import randint\n") == ["RPR001"]
+        assert codes("from time import monotonic\n") == ["RPR001"]
+
+    def test_wallclock_calls(self):
+        assert codes("t = time.perf_counter()\n") == ["RPR001"]
+        assert codes("now = datetime.now()\n") == ["RPR001"]
+
+    def test_numpy_random_call(self):
+        assert codes("rng = np.random.default_rng(0)\n") == ["RPR001"]
+
+    def test_random_module_call(self):
+        assert codes("x = random.random()\n") == ["RPR001"]
+
+    def test_annotation_is_not_a_call(self):
+        src = "def f(rng: np.random.Generator) -> None:\n    pass\n"
+        assert codes(src) == []
+
+    def test_rng_module_is_exempt(self):
+        src = "rng = np.random.default_rng(0)\n"
+        assert codes(src, path="src/repro/util/rng.py") == []
+
+    def test_unrelated_attribute_clean(self):
+        assert codes("x = obj.timestamp\n") == []
+
+
+# ----------------------------------------------------------------------
+# RPR002 — mutable default arguments
+# ----------------------------------------------------------------------
+class TestRPR002:
+    @pytest.mark.parametrize("default", ["[]", "{}", "{1}", "list()",
+                                         "dict()", "set()", "deque()",
+                                         "collections.defaultdict(list)"])
+    def test_mutable_defaults_flagged(self, default):
+        assert codes(f"def f(x={default}):\n    return x\n") == ["RPR002"]
+
+    def test_kwonly_default_flagged(self):
+        assert codes("def f(*, x=[]):\n    return x\n") == ["RPR002"]
+
+    def test_immutable_defaults_clean(self):
+        src = "def f(a=None, b=0, c=(), d='x', e=frozenset()):\n    pass\n"
+        assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RPR003 — undeclared PipelineStats counters
+# ----------------------------------------------------------------------
+class TestRPR003:
+    def test_undeclared_counter_flagged(self):
+        assert codes("stats.bogus_counter += 1\n") == ["RPR003"]
+
+    def test_undeclared_assignment_flagged(self):
+        assert codes("core.stats.typo_total = 5\n") == ["RPR003"]
+
+    def test_declared_counter_clean(self):
+        assert codes("stats.cycles += 1\n") == []
+        assert codes("self.stats.committed_total += 1\n") == []
+
+    def test_subscripted_counter_uses_attribute_name(self):
+        assert codes("stats.committed[ts.tid] += 1\n") == []
+        assert codes("stats.bogus[ts.tid] += 1\n") == ["RPR003"]
+
+    def test_assigning_the_stats_object_itself_is_clean(self):
+        assert codes("self.stats = PipelineStats()\n") == []
+
+    def test_rule_skipped_without_declared_set(self):
+        assert codes("stats.bogus_counter += 1\n", declared=None) == []
+
+    def test_discovery_on_real_tree(self):
+        declared = discover_declared_counters(
+            [Path(repro.__file__).parent]
+        )
+        assert declared is not None
+        assert "committed_total" in declared
+        assert "sanitizer_checks" in declared
+
+
+# ----------------------------------------------------------------------
+# RPR004 — cross-thread mutation outside the cycle loop
+# ----------------------------------------------------------------------
+class TestRPR004:
+    def test_mutation_flagged(self):
+        assert codes("core.threads[0].icount = 5\n") == ["RPR004"]
+        assert codes("self.threads[tid].stalled_until += 4\n") == ["RPR004"]
+
+    def test_nested_attribute_mutation_flagged(self):
+        assert codes("core.threads[i].lsq.count = 0\n") == ["RPR004"]
+
+    def test_read_access_clean(self):
+        assert codes("x = core.threads[0].icount\n") == []
+
+    def test_cycle_loop_is_exempt(self):
+        src = "self.threads[instr.tid].pending_long_misses -= 1\n"
+        assert codes(src, path="src/repro/pipeline/smt_core.py") == []
+
+    def test_other_subscripts_clean(self):
+        assert codes("buckets[0].value = 1\n") == []
+
+
+# ----------------------------------------------------------------------
+# RPR005 — float accumulation into cycle/ipc counters
+# ----------------------------------------------------------------------
+class TestRPR005:
+    def test_float_literal_flagged(self):
+        assert codes("stats.cycles += 0.5\n") == ["RPR005"]
+
+    def test_division_flagged(self):
+        assert codes("total_cycles += work / width\n") == ["RPR005"]
+        assert codes("ipc_sum += a / b\n") == ["RPR005"]
+
+    def test_float_call_flagged(self):
+        assert codes("self.cycle += float(n)\n") == ["RPR005"]
+
+    def test_integer_accumulation_clean(self):
+        assert codes("stats.cycles += 1\n") == []
+        assert codes("blocked_2op_cycles += n // 2\n") == []
+
+    def test_non_counter_names_clean(self):
+        assert codes("total += a / b\n") == []
+        assert codes("residency_sum += a / b\n") == []
+
+
+# ----------------------------------------------------------------------
+# noqa suppression + parse errors
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_matching_code_suppresses(self):
+        assert codes("import random  # repro: noqa[RPR001]\n") == []
+
+    def test_multi_code_suppresses(self):
+        src = "import random  # repro: noqa[RPR002, RPR001]\n"
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        assert codes("import random  # repro: noqa[RPR002]\n") == ["RPR001"]
+
+    def test_bare_noqa_suppresses_all(self):
+        assert codes("import random  # repro: noqa\n") == []
+
+    def test_suppression_is_per_line(self):
+        src = "import random  # repro: noqa[RPR001]\nimport time\n"
+        assert codes(src) == ["RPR001"]
+
+    def test_syntax_error_reported_not_suppressed(self):
+        out = lint_source("def broken(:\n  # repro: noqa\n")
+        assert [v.code for v in out] == ["RPR000"]
+
+
+# ----------------------------------------------------------------------
+# CLI driver
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_json_output_and_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        rc = main(["lint", str(bad), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["count"] == 1
+        assert payload["violations"][0]["code"] == "RPR001"
+        assert payload["violations"][0]["line"] == 1
+        assert set(payload["rules"]) == set(LINT_RULES)
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("def f(x=None):\n    return x\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "/nonexistent/nowhere"]) == 2
+        capsys.readouterr()
+
+    def test_every_emitted_code_is_documented(self):
+        out = lint_source(
+            "import random\n"
+            "def f(x=[]):\n"
+            "    stats.bogus += 1\n"
+            "    core.threads[0].icount = 1\n"
+            "    my_cycles = 0\n"
+            "    my_cycles += 1 / 2\n",
+            declared_counters=DECLARED,
+        )
+        assert out
+        assert {v.code for v in out} <= set(LINT_RULES)
+
+
+class TestRealTree:
+    def test_shipped_tree_is_clean(self):
+        src_root = Path(repro.__file__).parent
+        violations = lint_paths([src_root])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_main_on_shipped_tree_exits_zero(self, capsys):
+        src_root = Path(repro.__file__).parent
+        assert main(["lint", str(src_root)]) == 0
+        capsys.readouterr()
