@@ -3,7 +3,8 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint sanitize-smoke bench-sanitizer ci
+.PHONY: test lint sanitize-smoke bench-sanitizer figures figures-parallel \
+	cache-clear ci
 
 test:
 	python -m pytest -x -q
@@ -14,7 +15,19 @@ lint:
 	else \
 		echo "ruff not installed; skipping (pip install .[lint])"; \
 	fi
-	python -m repro.analysis lint src/repro
+	python -m repro.analysis lint src/repro benchmarks
+
+figures:
+	python -m pytest benchmarks/ --benchmark-only -q
+
+# Same figures on 4 workers with the result cache on: cold runs scale
+# with cores, reruns only simulate what changed (see docs/exec.md).
+figures-parallel:
+	REPRO_JOBS=4 REPRO_CACHE=1 python -m pytest benchmarks/ \
+		--benchmark-only -q
+
+cache-clear:
+	python -m repro.exec cache clear
 
 sanitize-smoke:
 	python -m repro.experiments.cli mix parser vortex \

@@ -13,6 +13,14 @@ simulator; this is pure Python). Scale knobs:
 Set ``REPRO_BENCH_INSNS=20000 REPRO_BENCH_MIXES=12
 REPRO_BENCH_IQS=32,48,64,96,128`` for a full-fidelity (slow) run.
 
+Execution knobs (see ``docs/exec.md``):
+
+* ``REPRO_JOBS``       — worker processes per grid (default 1),
+* ``REPRO_CACHE``      — ``0`` disables the content-addressed result
+  cache (default on: a warm rerun of ``make figures`` performs zero
+  simulation),
+* ``REPRO_CACHE_DIR``  — cache root (default ``results/cache``).
+
 Rendered outputs are written to ``results/`` next to this directory and
 echoed to stdout (visible with ``pytest -s``).
 """
@@ -21,6 +29,8 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+
+from repro.exec import ExecutorConfig
 
 #: Instructions committed per thread in each simulation.
 INSNS = int(os.environ.get("REPRO_BENCH_INSNS", "8000"))
@@ -36,6 +46,18 @@ IQ_SIZES = tuple(
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Grid-execution policy every reproduction bench routes through: worker
+#: count from ``REPRO_JOBS``, result cache on unless ``REPRO_CACHE=0``
+#: (rooted at ``REPRO_CACHE_DIR`` or ``results/cache``).
+EXECUTOR = ExecutorConfig(
+    jobs=max(1, int(os.environ.get("REPRO_JOBS", "1"))),
+    cache_dir=(
+        None if os.environ.get("REPRO_CACHE") == "0"
+        else Path(os.environ.get("REPRO_CACHE_DIR",
+                                 str(RESULTS_DIR / "cache")))
+    ),
+)
 
 
 def write_result(name: str, text: str) -> None:

@@ -6,10 +6,10 @@ sweeps the buffer size to confirm capacity beyond one entry buys nothing
 measurable — the DESIGN.md rationale for defaulting to a single entry.
 """
 
-from benchmarks._common import INSNS, MIXES, SEED, once, write_result
+from benchmarks._common import EXECUTOR, INSNS, MIXES, SEED, once, write_result
 from repro.config.presets import paper_machine
+from repro.exec import SimJob, execute_jobs
 from repro.experiments.report import format_table
-from repro.experiments.runner import simulate_mix
 from repro.metrics.aggregate import harmonic_mean
 from repro.workloads.mixes import FOUR_THREAD_MIXES
 
@@ -23,11 +23,13 @@ def test_ablation_dab_size(benchmark):
             cfg = paper_machine(
                 iq_size=32, scheduler="2op_ooo", deadlock_buffer_size=size
             )
-            ipcs = [
-                simulate_mix(m.benchmarks, cfg, INSNS, SEED).throughput_ipc
+            payloads, _ = execute_jobs([
+                SimJob(tuple(m.benchmarks), cfg, INSNS, SEED)
                 for m in FOUR_THREAD_MIXES[:MIXES]
-            ]
-            out[size] = harmonic_mean(ipcs)
+            ], EXECUTOR)
+            out[size] = harmonic_mean(
+                [p.result.throughput_ipc for p in payloads]
+            )
         return out
 
     out = once(benchmark, run)

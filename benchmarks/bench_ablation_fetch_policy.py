@@ -6,10 +6,10 @@ outstanding memory-level miss. This bench quantifies those choices on
 the reproduction's workloads.
 """
 
-from benchmarks._common import INSNS, MIXES, SEED, once, write_result
+from benchmarks._common import EXECUTOR, INSNS, MIXES, SEED, once, write_result
 from repro.config.presets import paper_machine
+from repro.exec import SimJob, execute_jobs
 from repro.experiments.report import format_table
-from repro.experiments.runner import simulate_mix
 from repro.metrics.aggregate import harmonic_mean
 from repro.workloads.mixes import FOUR_THREAD_MIXES
 
@@ -19,11 +19,13 @@ def test_ablation_fetch_policy(benchmark):
         out = {}
         for policy in ("icount", "round_robin", "stall"):
             cfg = paper_machine(iq_size=64, fetch_policy=policy)
-            ipcs = [
-                simulate_mix(m.benchmarks, cfg, INSNS, SEED).throughput_ipc
+            payloads, _ = execute_jobs([
+                SimJob(tuple(m.benchmarks), cfg, INSNS, SEED)
                 for m in FOUR_THREAD_MIXES[:MIXES]
-            ]
-            out[policy] = harmonic_mean(ipcs)
+            ], EXECUTOR)
+            out[policy] = harmonic_mean(
+                [p.result.throughput_ipc for p in payloads]
+            )
         return out
 
     out = once(benchmark, run)

@@ -1,0 +1,107 @@
+"""Executor scaling: wall-clock vs worker count, cold vs warm cache.
+
+Measures a small (>= 12-point) sweep at ``jobs`` in {1, 2, 4} with a
+cold content-addressed cache, then a warm-cache rerun, and writes the
+speedup table to ``results/exec_scaling.txt``. Two invariants are
+asserted regardless of host parallelism:
+
+* every run — any worker count, cold or warm — produces byte-identical
+  results, and
+* the warm-cache rerun performs **zero** simulations.
+
+The >= 1.8x cold-cache speedup target for ``jobs=4`` is asserted only
+when the host actually has >= 4 CPUs; the table records the honest
+numbers either way.
+"""
+
+import os
+import tempfile
+from time import perf_counter  # repro: noqa[RPR001] - measures the harness
+
+from benchmarks._common import INSNS, SEED, once, write_result
+from repro.config.presets import paper_machine
+from repro.exec import ExecutorConfig, execute_jobs, jobs_for_grid
+from repro.experiments.report import format_table
+from repro.experiments.runner import default_warmup, thread_traces
+from repro.workloads.mixes import TWO_THREAD_MIXES
+
+#: Scaled down from INSNS: the sweep runs 3x cold + 3x warm.
+EXEC_INSNS = max(1000, INSNS // 4)
+
+SCHEDULERS = ("traditional", "2op_ooo")
+IQS = (32, 64)
+MIXES_USED = TWO_THREAD_MIXES[:3]
+
+
+def test_exec_scaling(benchmark):
+    keyed = jobs_for_grid(
+        MIXES_USED, paper_machine(), SCHEDULERS, IQS, EXEC_INSNS, SEED
+    )
+    jobs = [j for _, j in keyed]
+    assert len(jobs) >= 12
+
+    # Pre-warm the per-process trace memo so every timed run (forked
+    # workers inherit the parent's memo) measures simulation, not trace
+    # generation.
+    for mix in MIXES_USED:
+        thread_traces(
+            mix.benchmarks, EXEC_INSNS, SEED, default_warmup(EXEC_INSNS)
+        )
+
+    def run():
+        timings = {}
+        reference = None
+        for workers in (1, 2, 4):
+            with tempfile.TemporaryDirectory() as cache_dir:
+                ex = ExecutorConfig(jobs=workers, cache_dir=cache_dir)
+                t0 = perf_counter()
+                cold, cold_rep = execute_jobs(jobs, ex)
+                cold_s = perf_counter() - t0
+                t0 = perf_counter()
+                warm, warm_rep = execute_jobs(jobs, ex)
+                warm_s = perf_counter() - t0
+            assert cold_rep.simulated == len(jobs)
+            # Warm-cache rerun: zero simulation, everything served.
+            assert warm_rep.simulated == 0
+            assert warm_rep.cached == len(jobs)
+            results = [p.result for p in cold]
+            assert results == [p.result for p in warm]
+            if reference is None:
+                reference = results
+            else:
+                # Byte-identical across worker counts.
+                assert results == reference
+            timings[workers] = (cold_s, warm_s)
+        return timings
+
+    timings = once(benchmark, run)
+    base_cold = timings[1][0]
+    rows = [
+        (
+            workers,
+            f"{cold_s:.2f}",
+            f"{warm_s:.3f}",
+            f"{base_cold / cold_s:.2f}x",
+            f"{cold_s / warm_s:.0f}x",
+        )
+        for workers, (cold_s, warm_s) in sorted(timings.items())
+    ]
+    write_result("exec_scaling", "\n".join([
+        f"executor scaling: {len(jobs)}-point sweep "
+        f"({len(SCHEDULERS)} schedulers x {len(IQS)} IQ sizes x "
+        f"{len(MIXES_USED)} 2-thread mixes, {EXEC_INSNS} insns/thread), "
+        f"host cpus={os.cpu_count()}",
+        "",
+        format_table(
+            ["jobs", "cold_s", "warm_s", "cold_speedup", "warm_vs_cold"],
+            rows,
+        ),
+        "",
+        "warm-cache reruns performed zero simulations (asserted).",
+    ]))
+
+    if (os.cpu_count() or 1) >= 4:
+        assert base_cold / timings[4][0] >= 1.8, (
+            f"jobs=4 cold speedup {base_cold / timings[4][0]:.2f}x < 1.8x "
+            f"on a {os.cpu_count()}-cpu host"
+        )

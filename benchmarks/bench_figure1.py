@@ -5,7 +5,15 @@ Paper shape: positive for 4-threaded workloads at small IQs, negative at
 much as -19% at 64 entries); 3-threaded workloads in between.
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.figures import figure1
 from repro.experiments.report import render_figure
 
@@ -13,6 +21,7 @@ from repro.experiments.report import render_figure
 def test_figure1(benchmark):
     result = once(benchmark, lambda: figure1(
         max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+        executor=EXECUTOR,
     ))
     write_result("figure1", render_figure(result))
 

@@ -5,7 +5,15 @@ at 32, +19% at 48, +22% at 64 entries) and beats/matches the traditional
 scheduler up to 64 entries, trailing it slightly beyond.
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.figures import figure3
 from repro.experiments.report import render_figure, render_same_size_ratios
 
@@ -13,6 +21,7 @@ from repro.experiments.report import render_figure, render_same_size_ratios
 def test_figure3(benchmark):
     result = once(benchmark, lambda: figure3(
         max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+        executor=EXECUTOR,
     ))
     text = "\n\n".join([
         render_figure(result),

@@ -5,7 +5,15 @@ harmonic mean of weighted IPCs over plain 2OP_BLOCK at every size (+21%
 at 64 entries) and roughly matches the traditional scheduler.
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.figures import figure4
 from repro.experiments.report import render_figure, render_same_size_ratios
 
@@ -13,6 +21,7 @@ from repro.experiments.report import render_figure, render_same_size_ratios
 def test_figure4(benchmark):
     result = once(benchmark, lambda: figure4(
         max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+        executor=EXECUTOR,
     ))
     text = "\n\n".join([
         render_figure(result),

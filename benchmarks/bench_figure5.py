@@ -5,7 +5,15 @@ entries) and beats traditional up to 64 entries (+20/+16/+9% at
 32/48/64), dipping only slightly below at 96/128.
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.figures import figure5
 from repro.experiments.report import render_figure, render_same_size_ratios
 
@@ -13,6 +21,7 @@ from repro.experiments.report import render_figure, render_same_size_ratios
 def test_figure5(benchmark):
     result = once(benchmark, lambda: figure5(
         max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+        executor=EXECUTOR,
     ))
     text = "\n\n".join([
         render_figure(result),

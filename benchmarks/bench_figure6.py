@@ -4,7 +4,15 @@ Paper shape: same trends as the 3-thread throughput figure — +17% over
 plain 2OP_BLOCK and +6% over traditional at 64 entries.
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.figures import figure6
 from repro.experiments.report import render_figure, render_same_size_ratios
 
@@ -12,6 +20,7 @@ from repro.experiments.report import render_figure, render_same_size_ratios
 def test_figure6(benchmark):
     result = once(benchmark, lambda: figure6(
         max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+        executor=EXECUTOR,
     ))
     text = "\n\n".join([
         render_figure(result),

@@ -5,7 +5,15 @@ OOO dispatch beats it at every size above 32 (+5/+14/+20% at 48/64/96+)
 and beats traditional at all sizes.
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.figures import figure7
 from repro.experiments.report import render_figure, render_same_size_ratios
 
@@ -13,6 +21,7 @@ from repro.experiments.report import render_figure, render_same_size_ratios
 def test_figure7(benchmark):
     result = once(benchmark, lambda: figure7(
         max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+        executor=EXECUTOR,
     ))
     text = "\n\n".join([
         render_figure(result),

@@ -4,7 +4,15 @@ Paper shape: +11.6% over plain 2OP_BLOCK and +13% over the traditional
 scheduler at 64 entries, with the same scaling trends as Figure 7.
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.figures import figure8
 from repro.experiments.report import render_figure, render_same_size_ratios
 
@@ -12,6 +20,7 @@ from repro.experiments.report import render_figure, render_same_size_ratios
 def test_figure8(benchmark):
     result = once(benchmark, lambda: figure8(
         max_insns=INSNS, seed=SEED, iq_sizes=IQ_SIZES, max_mixes=MIXES,
+        executor=EXECUTOR,
     ))
     text = "\n\n".join([
         render_figure(result),

@@ -5,7 +5,15 @@ better with both the number of threads and the IQ size compared to
 either the traditional design or 2OP_BLOCK alone."
 """
 
-from benchmarks._common import INSNS, IQ_SIZES, MIXES, SEED, once, write_result
+from benchmarks._common import (
+    EXECUTOR,
+    INSNS,
+    IQ_SIZES,
+    MIXES,
+    SEED,
+    once,
+    write_result,
+)
 from repro.experiments.report import format_table
 from repro.experiments.scaling import run_scaling
 
@@ -13,7 +21,7 @@ from repro.experiments.scaling import run_scaling
 def test_scaling(benchmark):
     result = once(benchmark, lambda: run_scaling(
         thread_counts=(2, 3, 4), iq_sizes=IQ_SIZES, max_insns=INSNS,
-        seed=SEED, max_mixes=MIXES,
+        seed=SEED, max_mixes=MIXES, executor=EXECUTOR,
     ))
     rows = result.rows()
     slope_rows = [

@@ -21,7 +21,9 @@ def traces():
 def test_simulator_cycle_throughput(benchmark, traces):
     """End-to-end simulation speed (cycles/second) on a 2-thread mix."""
     def run():
-        core = SMTProcessor(paper_machine(), traces, warmup=4000)
+        # Micro-bench of the core's own speed; bypassing repro.exec
+        # is the point here.
+        core = SMTProcessor(paper_machine(), traces, warmup=4000)  # repro: noqa[RPR006]
         stats = core.run(4000)
         return stats.cycles
 
@@ -45,7 +47,7 @@ def test_trace_generation_throughput(benchmark):
 def test_warmup_replay_throughput(benchmark, traces):
     """Cost of the functional warmup phase alone."""
     def run():
-        core = SMTProcessor(paper_machine(), traces, warmup=4000)
+        core = SMTProcessor(paper_machine(), traces, warmup=4000)  # repro: noqa[RPR006]
         return core
 
     core = benchmark(run)

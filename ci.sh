@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, lint (ruff + the custom repro.analysis pass),
-# and a short fully-sanitized end-to-end simulation.
+# a short fully-sanitized end-to-end simulation, and a 2-worker sweep
+# smoke that asserts the result cache serves a warm rerun in full.
 set -euo pipefail
 cd "$(dirname "$0")"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -16,7 +17,7 @@ else
 fi
 
 echo "== lint: repro.analysis (simulator-specific rules) =="
-python -m repro.analysis lint src/repro
+python -m repro.analysis lint src/repro benchmarks
 
 echo "== sanitized smoke simulation (2-thread mix, 5000 cycles) =="
 python - <<'PY'
@@ -35,6 +36,35 @@ assert stats.committed_total > 0, "nothing committed"
 print(
     f"ok: {stats.cycles} cycles, {stats.committed_total} committed, "
     f"{stats.sanitizer_checks} sanitizer checks, no violations"
+)
+PY
+
+echo "== parallel sweep smoke (2 workers, then warm cache) =="
+python - <<'PY'
+import tempfile
+
+from repro.config.presets import small_machine
+from repro.exec import ExecutorConfig
+from repro.experiments.sweep import run_sweep
+from repro.workloads.mixes import TWO_THREAD_MIXES
+
+kwargs = dict(
+    mixes=TWO_THREAD_MIXES[:2], base_config=small_machine(),
+    schedulers=("traditional", "2op_ooo"), iq_sizes=(8, 16),
+    max_insns=500, seed=0,
+)
+with tempfile.TemporaryDirectory() as cache_dir:
+    ex = ExecutorConfig(jobs=2, cache_dir=cache_dir)
+    cold = run_sweep(**kwargs, executor=ex)
+    warm = run_sweep(**kwargs, executor=ex)
+assert cold.exec_report.simulated == len(cold.results), "cold run not cold"
+assert warm.exec_report.simulated == 0, "warm rerun re-simulated"
+assert warm.exec_report.cached == len(cold.results), "warm rerun missed cache"
+assert warm.results == cold.results, "cache changed results"
+print(
+    f"ok: {len(cold.results)}-point grid on 2 workers; warm rerun served "
+    f"{warm.exec_report.cached}/{warm.exec_report.total} from cache, "
+    f"0 simulations"
 )
 PY
 

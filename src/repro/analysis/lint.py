@@ -22,6 +22,12 @@ RPR004    no cross-thread state mutation (``<x>.threads[i].attr = ...``)
 RPR005    no floating-point accumulation into cycle/IPC counters —
           cycle counts are exact integers; float drift would corrupt
           every derived IPC figure
+RPR006    benchmarks must route simulation through the
+          :mod:`repro.exec` executor — direct ``SMTProcessor`` /
+          ``simulate_mix`` calls inside ``benchmarks/`` bypass the
+          worker pool and the result cache, silently serialising the
+          grid and recomputing cached points (micro-benches that time
+          the simulator core itself suppress this deliberately)
 ========  ==============================================================
 
 A violation on line ``L`` is suppressed by a trailing
@@ -55,6 +61,7 @@ LINT_RULES: dict[str, str] = {
     "RPR003": "undeclared PipelineStats counter",
     "RPR004": "cross-thread state mutation outside the core cycle loop",
     "RPR005": "floating-point accumulation into a cycle/ipc counter",
+    "RPR006": "direct simulator call in benchmarks/ bypassing repro.exec",
 }
 
 #: Files (path suffixes) allowed to call numpy's RNG machinery directly.
@@ -62,6 +69,14 @@ _RNG_EXEMPT = ("util/rng.py",)
 
 #: Files (path suffixes) that *are* the core cycle loop for RPR004.
 _CYCLE_LOOP_FILES = ("pipeline/smt_core.py",)
+
+#: Simulation entry points RPR006 flags when called from benchmarks/;
+#: grids there must go through ``repro.exec.execute_jobs`` (or a driver
+#: such as ``run_sweep`` that routes through it).
+_DIRECT_SIM_CALLS = frozenset({
+    "SMTProcessor", "simulate_mix", "simulate_mix_with_fairness",
+    "simulate_benchmark",
+})
 
 #: Wall-clock entry points flagged by RPR001 when called.
 _WALLCLOCK_CALLS = frozenset({
@@ -242,6 +257,7 @@ class _FileLinter(ast.NodeVisitor):
         norm = rel_path.replace("\\", "/")
         self._rng_exempt = norm.endswith(_RNG_EXEMPT)
         self._in_cycle_loop = norm.endswith(_CYCLE_LOOP_FILES)
+        self._in_benchmarks = "benchmarks" in norm.split("/")[:-1]
 
     # -- plumbing -------------------------------------------------------
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
@@ -293,6 +309,18 @@ class _FileLinter(ast.NodeVisitor):
                         f"wall-clock call {dotted}() makes simulation "
                         "output time-dependent",
                     )
+        if self._in_benchmarks:
+            dotted = _dotted(node.func)
+            if (
+                dotted is not None
+                and dotted.rsplit(".", 1)[-1] in _DIRECT_SIM_CALLS
+            ):
+                self._flag(
+                    node, "RPR006",
+                    f"direct {dotted}() call in benchmarks/ bypasses the "
+                    "repro.exec executor (worker pool + result cache); "
+                    "route the grid through execute_jobs/run_sweep",
+                )
         self.generic_visit(node)
 
     # -- RPR002: mutable defaults ---------------------------------------

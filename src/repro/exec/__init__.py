@@ -1,0 +1,55 @@
+"""Parallel grid-execution engine with a content-addressed result cache.
+
+The evaluation pipeline's bottleneck stage is the grid runner: the
+paper's grid (schedulers x IQ sizes x mixes x thread counts) is
+embarrassingly parallel, and identical grid points recur across figures.
+This subsystem makes every sweep both parallel and incremental:
+
+* :mod:`repro.exec.jobs`  — :class:`SimJob`, a grid point as picklable,
+  content-hashable data;
+* :mod:`repro.exec.cache` — :class:`ResultCache`, an on-disk
+  content-addressed store with atomic writes and self-invalidation;
+* :mod:`repro.exec.pool`  — :func:`execute_jobs`, a forked worker farm
+  with longest-job-first ordering, per-job timeouts and bounded retry,
+  falling back to in-process execution when ``jobs=1`` or the platform
+  lacks ``fork``.
+
+See ``docs/exec.md`` for architecture, cache layout, invalidation rules
+and the determinism guarantee.
+"""
+
+from repro.exec.cache import (
+    DEFAULT_CACHE_DIR,
+    SCHEMA_VERSION,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.exec.jobs import JobResult, SimJob, jobs_for_grid
+from repro.exec.pool import (
+    ExecProgress,
+    ExecReport,
+    ExecutionError,
+    ExecutorConfig,
+    JobFailure,
+    execute_jobs,
+    fork_available,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "ExecProgress",
+    "ExecReport",
+    "ExecutionError",
+    "ExecutorConfig",
+    "JobFailure",
+    "JobResult",
+    "ResultCache",
+    "SimJob",
+    "default_cache_dir",
+    "execute_jobs",
+    "fork_available",
+    "jobs_for_grid",
+]

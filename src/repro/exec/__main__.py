@@ -1,0 +1,46 @@
+"""``python -m repro.exec`` — manage the result cache.
+
+Usage::
+
+    python -m repro.exec cache stats           # entry count + footprint
+    python -m repro.exec cache clear           # drop every entry
+    python -m repro.exec cache stats --dir X   # non-default root
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exec.cache import ResultCache, default_cache_dir
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="grid-execution result cache maintenance "
+                    "(see docs/exec.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--dir", type=str, default=None,
+                   help=f"cache root (default: {default_cache_dir()})")
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"root:    {stats.root}")
+        print(f"entries: {stats.entries}")
+        print(f"bytes:   {stats.total_bytes}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {cache.root}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

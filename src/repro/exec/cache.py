@@ -1,0 +1,186 @@
+"""Content-addressed on-disk result store.
+
+Layout: one JSON file per grid point, ``<root>/<content-hash>.json``.
+The default root is ``results/cache`` (override with ``REPRO_CACHE_DIR``
+or per :class:`ResultCache` instance).
+
+Each entry records:
+
+* ``schema`` — :data:`SCHEMA_VERSION`. Bumped whenever either the entry
+  format *or the simulator's observable behaviour* changes; entries with
+  any other value are treated as misses, so stale results self-invalidate
+  instead of silently corrupting figures.
+* ``repro_version`` — the package version that produced the entry, a
+  second self-invalidation guard across releases.
+* ``key`` — the job's content hash (must match the filename and the
+  requesting job; a mismatch means a corrupt or hand-edited entry).
+* ``job`` — the job's fingerprint payload, for human inspection.
+* ``result`` / ``fairness`` — the stored :class:`SimResult` fields.
+
+Writes are atomic (write to a same-directory temp file, then
+``os.replace``), so a crashed or parallel writer can never leave a
+half-written entry behind — readers see either the old entry or the new
+one. Corrupt, truncated, or schema-mismatched entries are treated as
+misses; the executor then recomputes and overwrites them.
+
+Floats survive the round trip exactly: ``json`` serialises Python floats
+with ``repr``, which round-trips IEEE-754 doubles bit-for-bit, so a
+cached :class:`SimResult` compares equal to a freshly simulated one.
+
+CLI::
+
+    python -m repro.exec cache stats
+    python -m repro.exec cache clear
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.metrics.ipc import SimResult
+
+from repro.exec.jobs import JobResult, SimJob
+
+#: Bump when the entry format or simulator behaviour changes (see
+#: docs/exec.md "Invalidation rules").
+SCHEMA_VERSION = 1
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+def default_cache_dir() -> Path:
+    """Cache root honouring the ``REPRO_CACHE_DIR`` environment knob."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else DEFAULT_CACHE_DIR
+
+
+def _repro_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Aggregate numbers for ``repro.exec cache stats``."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """Content-addressed store of :class:`JobResult` values."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # ------------------------------------------------------------------
+    def path_for(self, job: SimJob) -> Path:
+        """Entry path for a job (exists or not)."""
+        return self.root / f"{job.content_hash()}.json"
+
+    def get(self, job: SimJob) -> JobResult | None:
+        """Stored result for ``job``, or None on miss.
+
+        Corrupt JSON, schema/version mismatches, and key mismatches all
+        read as misses — never as errors — so a poisoned entry costs one
+        recomputation, not a crashed sweep.
+        """
+        key = job.content_hash()
+        path = self.root / f"{key}.json"
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != SCHEMA_VERSION:
+            return None
+        if entry.get("repro_version") != _repro_version():
+            return None
+        if entry.get("key") != key:
+            return None
+        try:
+            return _decode_job_result(entry)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, job: SimJob, payload: JobResult) -> Path:
+        """Atomically persist ``payload`` under the job's content hash."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        key = job.content_hash()
+        path = self.root / f"{key}.json"
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "repro_version": _repro_version(),
+            "key": key,
+            "job": job.fingerprint_payload(),
+            "result": _encode_sim_result(payload.result),
+            "fairness": payload.fairness,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(entry, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Entry count and on-disk footprint."""
+        entries = 0
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                entries += 1
+                total += path.stat().st_size
+        return CacheStats(
+            root=str(self.root), entries=entries, total_bytes=total
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation
+# ----------------------------------------------------------------------
+def _encode_sim_result(result: SimResult) -> dict[str, object]:
+    return {
+        "benchmarks": list(result.benchmarks),
+        "scheduler": result.scheduler,
+        "iq_size": result.iq_size,
+        "cycles": result.cycles,
+        "committed": list(result.committed),
+        "extras": dict(result.extras),
+    }
+
+
+def _decode_job_result(entry: dict[str, object]) -> JobResult:
+    raw = entry["result"]
+    if not isinstance(raw, dict):
+        raise TypeError("result field is not an object")
+    result = SimResult(
+        benchmarks=tuple(raw["benchmarks"]),
+        scheduler=str(raw["scheduler"]),
+        iq_size=int(raw["iq_size"]),
+        cycles=int(raw["cycles"]),
+        committed=tuple(int(c) for c in raw["committed"]),
+        extras={str(k): float(v) for k, v in dict(raw["extras"]).items()},
+    )
+    fairness = entry.get("fairness")
+    return JobResult(
+        result=result,
+        fairness=None if fairness is None else float(fairness),
+    )

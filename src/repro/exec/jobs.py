@@ -1,0 +1,146 @@
+"""Grid points as picklable, content-addressable jobs.
+
+A :class:`SimJob` captures everything that determines one simulation's
+outcome — the benchmarks tuple, the full :class:`MachineConfig`, the
+instruction budget, the seed — as plain data. Two consequences:
+
+* a job can be shipped to a worker process and executed there with a
+  byte-identical result (the simulator is deterministic in exactly
+  these inputs, see ``docs/exec.md``), and
+* a job has a *content hash*: a SHA-256 digest over a canonical
+  JSON encoding of its fields. The hash is insensitive to field
+  declaration order (keys are sorted at every nesting level) and is the
+  key under which :class:`repro.exec.cache.ResultCache` stores results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.config.machine import MachineConfig
+from repro.metrics.ipc import SimResult
+
+
+@dataclass(frozen=True, slots=True)
+class JobResult:
+    """What one executed grid point produces."""
+
+    result: SimResult
+    #: Harmonic mean of weighted IPCs, present when the job was run
+    #: ``with_fairness``.
+    fairness: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SimJob:
+    """One grid point of an evaluation sweep, as picklable data."""
+
+    benchmarks: tuple[str, ...]
+    config: MachineConfig
+    max_insns: int = 20_000
+    seed: int = 0
+    max_cycles: int = 5_000_000
+    warmup: int | None = None
+    #: Also run the single-thread baselines and compute the paper's
+    #: fairness metric. Part of the content hash: a cached plain result
+    #: must not satisfy a fairness request.
+    with_fairness: bool = False
+
+    def __post_init__(self) -> None:
+        # Normalise so hashing and pickling see one canonical form.
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+
+    # ------------------------------------------------------------------
+    # content addressing
+    # ------------------------------------------------------------------
+    def fingerprint_payload(self) -> dict[str, object]:
+        """The job as a JSON-safe dict; the domain of the content hash."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "config": dataclasses.asdict(self.config),
+            "max_insns": self.max_insns,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+            "warmup": self.warmup,
+            "with_fairness": self.with_fairness,
+        }
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the job's content.
+
+        Stable across processes, Python versions and dataclass field
+        reordering: the payload is serialised with sorted keys and no
+        insignificant whitespace before hashing.
+        """
+        return hash_payload(self.fingerprint_payload())
+
+    # ------------------------------------------------------------------
+    # scheduling + execution
+    # ------------------------------------------------------------------
+    def cost_estimate(self) -> int:
+        """Relative wall-clock estimate for longest-job-first ordering.
+
+        Simulation time grows with the per-thread budget and the number
+        of contexts; a fairness job additionally runs one single-thread
+        baseline per (distinct) benchmark.
+        """
+        threads = len(self.benchmarks)
+        cost = self.max_insns * threads
+        if self.with_fairness:
+            cost += self.max_insns * len(set(self.benchmarks))
+        return cost
+
+    def run(self) -> JobResult:
+        """Execute the grid point in the current process."""
+        from repro.experiments.runner import (
+            simulate_mix,
+            simulate_mix_with_fairness,
+        )
+
+        if self.with_fairness:
+            result, fairness = simulate_mix_with_fairness(
+                self.benchmarks, self.config, self.max_insns, self.seed
+            )
+            return JobResult(result=result, fairness=fairness)
+        result = simulate_mix(
+            self.benchmarks, self.config, self.max_insns, self.seed,
+            self.max_cycles, self.warmup,
+        )
+        return JobResult(result=result)
+
+
+def hash_payload(payload: dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``."""
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def jobs_for_grid(mixes: Sequence, base_config: MachineConfig,
+                  schedulers: Sequence[str], iq_sizes: Sequence[int],
+                  max_insns: int, seed: int,
+                  with_fairness: bool = False) -> list[tuple[tuple, SimJob]]:
+    """Expand a (scheduler, IQ size, mix) grid into keyed jobs.
+
+    Returns ``[((scheduler, iq_size, mix_name), SimJob), ...]`` in the
+    same deterministic order the serial sweep historically used.
+    """
+    out: list[tuple[tuple, SimJob]] = []
+    for scheduler in schedulers:
+        for iq_size in iq_sizes:
+            cfg = base_config.replace(scheduler=scheduler, iq_size=iq_size)
+            for mix in mixes:
+                key = (scheduler, iq_size, mix.name)
+                out.append((key, SimJob(
+                    benchmarks=tuple(mix.benchmarks),
+                    config=cfg,
+                    max_insns=max_insns,
+                    seed=seed,
+                    with_fairness=with_fairness,
+                )))
+    return out

@@ -1,0 +1,335 @@
+"""Parallel grid execution with caching, timeouts and bounded retry.
+
+:func:`execute_jobs` is the single entry point every sweep, figure
+driver and benchmark routes through. It
+
+* consults the :class:`~repro.exec.cache.ResultCache` first (when one is
+  configured), so a warm rerun performs zero simulation;
+* runs the remaining jobs either in-process (``jobs=1``, a single
+  pending job, or a platform without ``fork``) or on a farm of forked
+  worker processes, scheduling **longest job first** so one straggler
+  does not serialise the tail of the grid;
+* enforces a per-job wall-clock timeout and retries crashed or
+  timed-out workers a bounded number of times;
+* reports progress (completed / cached / failed counts) through a
+  callback after every job.
+
+Determinism: workers only ever *compute* — each job is an independent
+pure function of its content (see :mod:`repro.exec.jobs`), results are
+reassembled in submission order, and nothing about scheduling order,
+worker count, or cache state can leak into a result value. A grid
+executed with ``jobs=8`` is byte-identical to ``jobs=1``; the test suite
+enforces this.
+
+The wall clock is read for *harness* concerns only (timeouts, progress)
+— never inside simulation code — hence the targeted RPR001 suppression
+on the import below.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _conn_wait
+from pathlib import Path
+from time import monotonic as _monotonic  # repro: noqa[RPR001]
+
+from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.jobs import JobResult, SimJob
+
+#: Poll interval for the farm's event loop (seconds). Workers signal
+#: completion through pipes, so this only bounds timeout detection lag.
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutorConfig:
+    """How a grid should be executed.
+
+    ``jobs=1`` (the default) runs in-process with no behavioural change
+    from the historical serial path; ``jobs>1`` forks worker processes.
+    """
+
+    jobs: int = 1
+    #: Directory of the content-addressed result cache; None disables
+    #: caching entirely.
+    cache_dir: str | Path | None = None
+    #: Per-job wall-clock limit in seconds (process mode only; a job
+    #: cannot be interrupted in-process). None means unlimited.
+    timeout: float | None = None
+    #: How many *additional* attempts a crashed or timed-out job gets
+    #: before it is reported as failed.
+    retries: int = 1
+
+    @classmethod
+    def from_env(cls, default_cache: bool = False) -> "ExecutorConfig":
+        """Build from ``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``.
+
+        ``REPRO_CACHE=1`` (or ``default_cache=True``) enables the cache
+        at its default root; ``REPRO_CACHE=0`` disables it either way.
+        """
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        cache_flag = os.environ.get("REPRO_CACHE")
+        if cache_flag is None:
+            cached = default_cache
+        else:
+            cached = cache_flag != "0"
+        return cls(
+            jobs=max(1, jobs),
+            cache_dir=default_cache_dir() if cached else None,
+        )
+
+    def with_cache_dir(self, cache_dir: str | Path | None) -> "ExecutorConfig":
+        """Copy with a different cache root (benchmarks, tests)."""
+        return replace(self, cache_dir=cache_dir)
+
+
+@dataclass(slots=True)
+class ExecReport:
+    """Counts accumulated over one :func:`execute_jobs` call."""
+
+    total: int = 0
+    #: Jobs satisfied from the result cache without simulating.
+    cached: int = 0
+    #: Jobs actually simulated (in-process or in a worker).
+    simulated: int = 0
+    #: Jobs that exhausted their retry budget.
+    failed: int = 0
+    #: Crashed/timed-out attempts that were retried.
+    retried: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Jobs resolved so far (cached + simulated + failed)."""
+        return self.cached + self.simulated + self.failed
+
+
+@dataclass(frozen=True, slots=True)
+class ExecProgress:
+    """One progress event: the job that just resolved, plus counts."""
+
+    job: SimJob
+    payload: JobResult | None
+    #: "cached" | "simulated" | "failed"
+    outcome: str
+    report: ExecReport
+
+
+@dataclass(frozen=True, slots=True)
+class JobFailure:
+    """Terminal failure of one job after retries."""
+
+    job: SimJob
+    message: str
+
+
+class ExecutionError(RuntimeError):
+    """Raised when any job of a grid fails terminally."""
+
+    def __init__(self, failures: Sequence[JobFailure],
+                 report: ExecReport) -> None:
+        self.failures = list(failures)
+        self.report = report
+        lines = [f"{len(self.failures)} job(s) failed:"]
+        for f in self.failures:
+            lines.append(
+                f"  {'+'.join(f.job.benchmarks)} @ "
+                f"{f.job.config.scheduler}/iq{f.job.config.iq_size}: "
+                f"{f.message}"
+            )
+        super().__init__("\n".join(lines))
+
+
+ProgressFn = Callable[[ExecProgress], None]
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def execute_jobs(jobs: Sequence[SimJob],
+                 executor: ExecutorConfig | None = None,
+                 progress: ProgressFn | None = None,
+                 ) -> tuple[list[JobResult], ExecReport]:
+    """Execute a batch of grid points; returns results in input order.
+
+    Raises :class:`ExecutionError` if any job fails terminally (crash or
+    timeout beyond the retry budget, or an exception raised by the
+    simulation itself).
+    """
+    cfg = executor if executor is not None else ExecutorConfig()
+    cache = ResultCache(cfg.cache_dir) if cfg.cache_dir is not None else None
+    report = ExecReport(total=len(jobs))
+    results: list[JobResult | None] = [None] * len(jobs)
+    failures: list[JobFailure] = []
+
+    def _emit(job: SimJob, payload: JobResult | None, outcome: str) -> None:
+        if progress is not None:
+            progress(ExecProgress(
+                job=job, payload=payload, outcome=outcome, report=report
+            ))
+
+    # -- 1. warm-cache pass --------------------------------------------
+    pending: list[int] = []
+    for idx, job in enumerate(jobs):
+        hit = cache.get(job) if cache is not None else None
+        if hit is not None:
+            results[idx] = hit
+            report.cached += 1
+            _emit(job, hit, "cached")
+        else:
+            pending.append(idx)
+
+    # -- 2. simulate what's left ---------------------------------------
+    use_processes = (
+        cfg.jobs > 1 and len(pending) > 1 and fork_available()
+    )
+    if use_processes:
+        _run_in_processes(
+            jobs, pending, cfg, cache, results, report, failures, _emit
+        )
+    else:
+        _run_in_process(
+            jobs, pending, cfg, cache, results, report, failures, _emit
+        )
+
+    if failures:
+        raise ExecutionError(failures, report)
+    return [r for r in results if r is not None], report
+
+
+# ----------------------------------------------------------------------
+# in-process execution (jobs=1, single pending job, or fork-less host)
+# ----------------------------------------------------------------------
+def _run_in_process(jobs, pending, cfg, cache, results, report, failures,
+                    emit) -> None:
+    # Submission order is preserved so callers see progress stream in
+    # grid order; timeouts cannot be enforced without a worker process.
+    for idx in pending:
+        job = jobs[idx]
+        payload = None
+        for attempt in range(cfg.retries + 1):
+            try:
+                payload = job.run()
+                break
+            except Exception as exc:  # noqa: BLE001 - reported to caller
+                if attempt < cfg.retries:
+                    report.retried += 1
+                    continue
+                failures.append(JobFailure(
+                    job=job, message=f"{type(exc).__name__}: {exc}"
+                ))
+        if payload is None:
+            report.failed += 1
+            emit(job, None, "failed")
+            continue
+        if cache is not None:
+            cache.put(job, payload)
+        results[idx] = payload
+        report.simulated += 1
+        emit(job, payload, "simulated")
+
+
+# ----------------------------------------------------------------------
+# forked worker farm
+# ----------------------------------------------------------------------
+def _worker_main(job: SimJob, conn) -> None:
+    """Worker entry point: run one job, ship the outcome, exit."""
+    try:
+        payload = job.run()
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - serialised to parent
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass(slots=True)
+class _Running:
+    idx: int
+    attempt: int
+    proc: multiprocessing.process.BaseProcess
+    conn: object
+    started: float
+    done: bool = field(default=False)
+
+
+def _run_in_processes(jobs, pending, cfg, cache, results, report, failures,
+                      emit) -> None:
+    ctx = multiprocessing.get_context("fork")
+    # Longest job first: dispatch the expensive grid points before the
+    # cheap ones so the final workers drain short tails, minimising
+    # makespan (classic LPT list scheduling).
+    queue = sorted(
+        pending, key=lambda i: (-jobs[i].cost_estimate(), i)
+    )
+    queue.reverse()  # pop() takes from the end
+    width = max(1, min(cfg.jobs, len(queue)))
+    running: list[_Running] = []
+
+    def _spawn(idx: int, attempt: int) -> None:
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main, args=(jobs[idx], send), daemon=True
+        )
+        proc.start()
+        send.close()  # parent keeps only the read end
+        running.append(_Running(
+            idx=idx, attempt=attempt, proc=proc, conn=recv,
+            started=_monotonic(),
+        ))
+
+    def _finish(slot: _Running, payload: JobResult | None,
+                error: str | None) -> None:
+        slot.conn.close()
+        slot.proc.join()
+        running.remove(slot)
+        job = jobs[slot.idx]
+        if payload is not None:
+            if cache is not None:
+                cache.put(job, payload)
+            results[slot.idx] = payload
+            report.simulated += 1
+            emit(job, payload, "simulated")
+            return
+        if slot.attempt < cfg.retries:
+            report.retried += 1
+            _spawn(slot.idx, slot.attempt + 1)
+            return
+        failures.append(JobFailure(job=job, message=error or "worker died"))
+        report.failed += 1
+        emit(job, None, "failed")
+
+    while queue or running:
+        while queue and len(running) < width:
+            _spawn(queue.pop(), attempt=0)
+
+        ready = _conn_wait(
+            [slot.conn for slot in running], timeout=_POLL_SECONDS
+        )
+        for slot in list(running):
+            if slot.conn in ready:
+                try:
+                    kind, value = slot.conn.recv()
+                except (EOFError, OSError):
+                    _finish(slot, None, "worker crashed before reporting")
+                    continue
+                if kind == "ok":
+                    _finish(slot, value, None)
+                else:
+                    _finish(slot, None, str(value))
+            elif (
+                cfg.timeout is not None
+                and _monotonic() - slot.started > cfg.timeout
+            ):
+                slot.proc.terminate()
+                _finish(
+                    slot, None,
+                    f"timed out after {cfg.timeout:g}s",
+                )

@@ -5,6 +5,7 @@ Examples::
     repro-smt classify                      # Tables 2-4 ILP classes
     repro-smt figure 1 --insns 10000        # regenerate Figure 1
     repro-smt figure 7 --mixes 6            # Figure 7 on 6 mixes
+    repro-smt figure 3 --jobs 4 --cache     # parallel + incremental
     repro-smt stalls                        # §3 stall percentages
     repro-smt mix parser vortex --iq 64 --scheduler 2op_ooo
 """
@@ -12,6 +13,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.config.machine import SCHEDULER_KINDS
@@ -40,6 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[32, 48, 64, 96, 128])
     p.add_argument("--csv", action="store_true",
                    help="emit the raw series as CSV instead of tables")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the grid (default: "
+                        "$REPRO_JOBS or 1)")
+    p.add_argument("--cache", action="store_true",
+                   help="serve repeated grid points from the "
+                        "content-addressed result cache (see docs/exec.md)")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="cache root (default: $REPRO_CACHE_DIR or "
+                        "results/cache); implies --cache")
     _add_common(p)
 
     p = sub.add_parser("classify", help="single-thread ILP classification")
@@ -78,15 +89,23 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "figure":
+        from repro.exec import ExecutorConfig
         from repro.experiments.figures import FIGURE_DRIVERS
         from repro.experiments.plot import ascii_chart, to_csv
         from repro.experiments.report import render_figure
+
+        executor = ExecutorConfig.from_env(default_cache=args.cache)
+        if args.jobs is not None:
+            executor = dataclasses.replace(executor, jobs=max(1, args.jobs))
+        if args.cache_dir is not None:
+            executor = executor.with_cache_dir(args.cache_dir)
 
         driver = FIGURE_DRIVERS[args.number]
         result = driver(
             max_insns=args.insns, seed=args.seed,
             iq_sizes=tuple(args.iq_sizes), max_mixes=args.mixes,
             progress=lambda line: print(line, file=sys.stderr),
+            executor=executor,
         )
         if args.csv:
             print(to_csv(result))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.config.machine import MachineConfig
 from repro.config.presets import paper_machine
+from repro.exec import ExecutorConfig
 from repro.experiments.sweep import (
     PAPER_IQ_SIZES,
     PAPER_SCHEDULERS,
@@ -74,7 +75,8 @@ def figure1(max_insns: int = 10_000, seed: int = 0,
             thread_counts: Sequence[int] = (2, 3, 4),
             max_mixes: int | None = None,
             base_config: MachineConfig | None = None,
-            progress=None) -> FigureResult:
+            progress=None,
+            executor: ExecutorConfig | None = None) -> FigureResult:
     """Figure 1: 2OP_BLOCK speedup over same-size traditional IQ.
 
     Returns a :class:`FigureResult` whose series keys are ``"2 threads"``
@@ -92,7 +94,7 @@ def figure1(max_insns: int = 10_000, seed: int = 0,
             chosen, base,
             schedulers=("traditional", "2op_block"),
             iq_sizes=iq_sizes, max_insns=max_insns, seed=seed,
-            progress=progress,
+            progress=progress, executor=executor,
         )
         result.series[f"{threads} threads"] = [
             sweep.hmean_ipc("2op_block", q) / sweep.hmean_ipc("traditional", q)
@@ -107,14 +109,15 @@ def _speedup_figure(figure: str, num_threads: int, fairness: bool,
                     mixes: Sequence[Mix] | None,
                     max_mixes: int | None,
                     base_config: MachineConfig | None,
-                    progress) -> FigureResult:
+                    progress,
+                    executor: ExecutorConfig | None = None) -> FigureResult:
     base = base_config if base_config is not None else paper_machine()
     chosen = _resolve_mixes(num_threads, mixes, max_mixes)
     sweep = run_sweep(
         chosen, base,
         schedulers=PAPER_SCHEDULERS, iq_sizes=iq_sizes,
         max_insns=max_insns, seed=seed,
-        with_fairness=fairness, progress=progress,
+        with_fairness=fairness, progress=progress, executor=executor,
     )
     value = sweep.hmean_fairness if fairness else sweep.hmean_ipc
     baseline = value("traditional", iq_sizes[0])
@@ -139,10 +142,12 @@ def figure3(max_insns: int = 10_000, seed: int = 0,
             mixes: Sequence[Mix] | None = None,
             max_mixes: int | None = None,
             base_config: MachineConfig | None = None,
-            progress=None) -> FigureResult:
+            progress=None,
+            executor: ExecutorConfig | None = None) -> FigureResult:
     """Figure 3: throughput-IPC speedup, 2-threaded workloads."""
     return _speedup_figure("figure3", 2, False, max_insns, seed, iq_sizes,
-                           mixes, max_mixes, base_config, progress)
+                           mixes, max_mixes, base_config, progress,
+                           executor)
 
 
 def figure4(max_insns: int = 10_000, seed: int = 0,
@@ -150,10 +155,12 @@ def figure4(max_insns: int = 10_000, seed: int = 0,
             mixes: Sequence[Mix] | None = None,
             max_mixes: int | None = None,
             base_config: MachineConfig | None = None,
-            progress=None) -> FigureResult:
+            progress=None,
+            executor: ExecutorConfig | None = None) -> FigureResult:
     """Figure 4: fairness improvement, 2-threaded workloads."""
     return _speedup_figure("figure4", 2, True, max_insns, seed, iq_sizes,
-                           mixes, max_mixes, base_config, progress)
+                           mixes, max_mixes, base_config, progress,
+                           executor)
 
 
 def figure5(max_insns: int = 10_000, seed: int = 0,
@@ -161,10 +168,12 @@ def figure5(max_insns: int = 10_000, seed: int = 0,
             mixes: Sequence[Mix] | None = None,
             max_mixes: int | None = None,
             base_config: MachineConfig | None = None,
-            progress=None) -> FigureResult:
+            progress=None,
+            executor: ExecutorConfig | None = None) -> FigureResult:
     """Figure 5: throughput-IPC speedup, 3-threaded workloads."""
     return _speedup_figure("figure5", 3, False, max_insns, seed, iq_sizes,
-                           mixes, max_mixes, base_config, progress)
+                           mixes, max_mixes, base_config, progress,
+                           executor)
 
 
 def figure6(max_insns: int = 10_000, seed: int = 0,
@@ -172,10 +181,12 @@ def figure6(max_insns: int = 10_000, seed: int = 0,
             mixes: Sequence[Mix] | None = None,
             max_mixes: int | None = None,
             base_config: MachineConfig | None = None,
-            progress=None) -> FigureResult:
+            progress=None,
+            executor: ExecutorConfig | None = None) -> FigureResult:
     """Figure 6: fairness improvement, 3-threaded workloads."""
     return _speedup_figure("figure6", 3, True, max_insns, seed, iq_sizes,
-                           mixes, max_mixes, base_config, progress)
+                           mixes, max_mixes, base_config, progress,
+                           executor)
 
 
 def figure7(max_insns: int = 10_000, seed: int = 0,
@@ -183,10 +194,12 @@ def figure7(max_insns: int = 10_000, seed: int = 0,
             mixes: Sequence[Mix] | None = None,
             max_mixes: int | None = None,
             base_config: MachineConfig | None = None,
-            progress=None) -> FigureResult:
+            progress=None,
+            executor: ExecutorConfig | None = None) -> FigureResult:
     """Figure 7: throughput-IPC speedup, 4-threaded workloads."""
     return _speedup_figure("figure7", 4, False, max_insns, seed, iq_sizes,
-                           mixes, max_mixes, base_config, progress)
+                           mixes, max_mixes, base_config, progress,
+                           executor)
 
 
 def figure8(max_insns: int = 10_000, seed: int = 0,
@@ -194,10 +207,12 @@ def figure8(max_insns: int = 10_000, seed: int = 0,
             mixes: Sequence[Mix] | None = None,
             max_mixes: int | None = None,
             base_config: MachineConfig | None = None,
-            progress=None) -> FigureResult:
+            progress=None,
+            executor: ExecutorConfig | None = None) -> FigureResult:
     """Figure 8: fairness improvement, 4-threaded workloads."""
     return _speedup_figure("figure8", 4, True, max_insns, seed, iq_sizes,
-                           mixes, max_mixes, base_config, progress)
+                           mixes, max_mixes, base_config, progress,
+                           executor)
 
 
 #: All figure drivers keyed by the paper's figure number.

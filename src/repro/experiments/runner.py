@@ -35,22 +35,50 @@ def default_warmup(max_insns: int) -> int:
     return max(DEFAULT_WARMUP, max_insns)
 
 
+#: Per-process memo of slot traces keyed by
+#: ``(benchmark, occurrence, root seed, length)``. The generator keeps
+#: its own 64-entry FIFO, but a fairness sweep touches more distinct
+#: traces than that bound holds (up to 4 slots x 12 mixes plus one solo
+#: baseline per benchmark), so relying on it alone silently regenerated
+#: traces on later grid points. This memo pins every slot trace for the
+#: life of the process instead.
+_SLOT_TRACE_CACHE: dict[tuple[str, int, int, int], Trace] = {}
+_SLOT_TRACE_CACHE_MAX = 512
+
+
 def thread_traces(benchmarks: Sequence[str], max_insns: int, seed: int,
                   warmup: int) -> list[Trace]:
-    """Generate (or fetch cached) traces for each mix slot."""
+    """Traces for each mix slot, memoised within this process.
+
+    The memo is keyed by ``(benchmark, occurrence-in-mix, root seed,
+    length)`` — exactly the inputs the derived trace depends on — so
+    every grid point of a sweep reuses one generated trace per slot
+    rather than regenerating it. The memo is per-process: parallel sweep
+    workers (:mod:`repro.exec.pool`) each build their own, and it is
+    bounded at :data:`_SLOT_TRACE_CACHE_MAX` entries (FIFO eviction).
+    """
     seen: dict[str, int] = {}
     traces = []
+    length = warmup + max_insns + TRACE_SLACK
     for name in benchmarks:
         occurrence = seen.get(name, 0)
         seen[name] = occurrence + 1
-        traces.append(
-            generate_trace(
-                name,
-                warmup + max_insns + TRACE_SLACK,
-                derive_seed(seed, "slot", name, occurrence),
+        key = (name, occurrence, seed, length)
+        trace = _SLOT_TRACE_CACHE.get(key)
+        if trace is None:
+            trace = generate_trace(
+                name, length, derive_seed(seed, "slot", name, occurrence)
             )
-        )
+            if len(_SLOT_TRACE_CACHE) >= _SLOT_TRACE_CACHE_MAX:
+                _SLOT_TRACE_CACHE.pop(next(iter(_SLOT_TRACE_CACHE)))
+            _SLOT_TRACE_CACHE[key] = trace
+        traces.append(trace)
     return traces
+
+
+def clear_slot_trace_cache() -> None:
+    """Drop memoised slot traces (tests)."""
+    _SLOT_TRACE_CACHE.clear()
 
 
 def simulate_mix(benchmarks: Sequence[str], config: MachineConfig,

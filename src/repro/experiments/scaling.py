@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.config.machine import MachineConfig
 from repro.config.presets import paper_machine
-from repro.experiments.runner import simulate_mix
+from repro.exec import ExecutorConfig, SimJob, execute_jobs
 from repro.metrics.aggregate import harmonic_mean
 from repro.workloads.mixes import mixes_for_threads
 
@@ -60,12 +60,19 @@ def run_scaling(thread_counts: Sequence[int] = (2, 3, 4),
                 max_insns: int = 8_000, seed: int = 0,
                 max_mixes: int | None = 6,
                 base_config: MachineConfig | None = None,
-                progress=None) -> ScalingResult:
-    """Run the scaling grid over the paper's workload tables."""
+                progress=None,
+                executor: ExecutorConfig | None = None) -> ScalingResult:
+    """Run the scaling grid over the paper's workload tables.
+
+    The grid is routed through :func:`repro.exec.execute_jobs`;
+    ``executor`` selects worker count and caching (None = in-process,
+    uncached, byte-identical to any parallel run).
+    """
     base = base_config if base_config is not None else paper_machine()
     result = ScalingResult(
         thread_counts=tuple(thread_counts), iq_sizes=tuple(iq_sizes)
     )
+    keyed: list[tuple[tuple[str, int, int], SimJob]] = []
     for threads in thread_counts:
         mixes = list(mixes_for_threads(threads))
         if max_mixes is not None:
@@ -73,16 +80,21 @@ def run_scaling(thread_counts: Sequence[int] = (2, 3, 4),
         for scheduler in SCHEDULERS:
             for iq_size in iq_sizes:
                 cfg = base.replace(scheduler=scheduler, iq_size=iq_size)
-                ipcs = [
-                    simulate_mix(m.benchmarks, cfg, max_insns, seed)
-                    .throughput_ipc
-                    for m in mixes
-                ]
-                result.ipc[(scheduler, threads, iq_size)] = \
-                    harmonic_mean(ipcs)
-                if progress is not None:
-                    progress(
-                        f"{scheduler:>12} {threads}T iq={iq_size}: "
-                        f"{result.ipc[(scheduler, threads, iq_size)]:.3f}"
-                    )
+                for m in mixes:
+                    keyed.append(((scheduler, threads, iq_size), SimJob(
+                        benchmarks=tuple(m.benchmarks), config=cfg,
+                        max_insns=max_insns, seed=seed,
+                    )))
+    payloads, _ = execute_jobs([job for _, job in keyed], executor)
+    cells: dict[tuple[str, int, int], list[float]] = {}
+    for (key, _), payload in zip(keyed, payloads):
+        cells.setdefault(key, []).append(payload.result.throughput_ipc)
+    for key in sorted(cells, key=lambda k: (k[1], SCHEDULERS.index(k[0]), k[2])):
+        scheduler, threads, iq_size = key
+        result.ipc[key] = harmonic_mean(cells[key])
+        if progress is not None:
+            progress(
+                f"{scheduler:>12} {threads}T iq={iq_size}: "
+                f"{result.ipc[key]:.3f}"
+            )
     return result

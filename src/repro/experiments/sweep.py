@@ -3,6 +3,13 @@
 The paper's evaluation is a grid: three scheduler designs x five IQ
 sizes x 12 mixes per thread count. ``run_sweep`` executes the grid and
 returns an indexable result set the figure drivers aggregate.
+
+Every grid point is expressed as a :class:`repro.exec.SimJob` and routed
+through :func:`repro.exec.execute_jobs`, so a sweep can run on a forked
+worker pool (``executor=ExecutorConfig(jobs=N)``) and/or be served from
+the content-addressed result cache. The default (``executor=None``)
+executes in-process with no cache — identical behaviour and results to
+the historical serial loop.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.config.machine import MachineConfig
+from repro.exec import ExecProgress, ExecReport, ExecutorConfig, execute_jobs, jobs_for_grid
 from repro.metrics.aggregate import harmonic_mean
 from repro.metrics.ipc import SimResult
 from repro.workloads.mixes import Mix
@@ -30,6 +38,9 @@ class SweepResult:
         default_factory=dict
     )
     fairness: dict[tuple[str, int, str], float] = field(default_factory=dict)
+    #: Execution counts of the run that produced this sweep (cached vs
+    #: simulated grid points); None for hand-assembled results.
+    exec_report: ExecReport | None = None
 
     def get(self, scheduler: str, iq_size: int, mix_name: str) -> SimResult:
         """Result of one grid point."""
@@ -75,7 +86,8 @@ def run_sweep(mixes: Sequence[Mix], base_config: MachineConfig,
               iq_sizes: Sequence[int] = PAPER_IQ_SIZES,
               max_insns: int = 20_000, seed: int = 0,
               with_fairness: bool = False,
-              progress: Callable[[str], None] | None = None) -> SweepResult:
+              progress: Callable[[str], None] | None = None,
+              executor: ExecutorConfig | None = None) -> SweepResult:
     """Run the full grid.
 
     Args:
@@ -90,26 +102,36 @@ def run_sweep(mixes: Sequence[Mix], base_config: MachineConfig,
         with_fairness: also run single-thread baselines and compute the
             fairness metric per grid point.
         progress: optional callback receiving a human-readable line per
-            completed grid point.
+            completed grid point (in completion order, which only matches
+            grid order for in-process execution).
+        executor: parallelism/caching policy (:class:`ExecutorConfig`);
+            None executes in-process with no cache. Results are
+            byte-identical regardless of worker count or cache state.
     """
-    from repro.experiments.runner import simulate_mix, simulate_mix_with_fairness
+    keyed = jobs_for_grid(
+        mixes, base_config, schedulers, iq_sizes, max_insns, seed,
+        with_fairness=with_fairness,
+    )
+    mix_names = {tuple(m.benchmarks): m.name for m in mixes}
 
-    out = SweepResult()
-    for scheduler in schedulers:
-        for iq_size in iq_sizes:
-            cfg = base_config.replace(scheduler=scheduler, iq_size=iq_size)
-            for mix in mixes:
-                if with_fairness:
-                    result, fair = simulate_mix_with_fairness(
-                        mix.benchmarks, cfg, max_insns, seed
-                    )
-                    out.fairness[(scheduler, iq_size, mix.name)] = fair
-                else:
-                    result = simulate_mix(mix.benchmarks, cfg, max_insns, seed)
-                out.results[(scheduler, iq_size, mix.name)] = result
-                if progress is not None:
-                    progress(
-                        f"{scheduler:>12} iq={iq_size:<4} {mix.name}: "
-                        f"IPC={result.throughput_ipc:.3f}"
-                    )
+    def _line(event: ExecProgress) -> None:
+        if event.payload is None:
+            return
+        result = event.payload.result
+        mix_name = mix_names.get(event.job.benchmarks,
+                                 "+".join(event.job.benchmarks))
+        progress(
+            f"{result.scheduler:>12} iq={result.iq_size:<4} {mix_name}: "
+            f"IPC={result.throughput_ipc:.3f}"
+        )
+
+    payloads, report = execute_jobs(
+        [job for _, job in keyed], executor,
+        progress=_line if progress is not None else None,
+    )
+    out = SweepResult(exec_report=report)
+    for (key, _), payload in zip(keyed, payloads):
+        out.results[key] = payload.result
+        if with_fairness and payload.fairness is not None:
+            out.fairness[key] = payload.fairness
     return out

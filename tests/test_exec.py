@@ -1,0 +1,358 @@
+"""Tests for the parallel grid-execution engine (``repro.exec``).
+
+Covers the determinism guarantee (jobs=1 vs jobs=4 byte-identical over
+a >= 12-point grid), every cache path (hit / miss / corrupt entry /
+schema mismatch), worker-crash retry and per-job timeout, content-hash
+stability, and the slot-trace memoisation in the runner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.exec.pool as pool_mod
+from repro.config.presets import small_machine
+from repro.exec import (
+    SCHEMA_VERSION,
+    ExecutionError,
+    ExecutorConfig,
+    ResultCache,
+    SimJob,
+    execute_jobs,
+    jobs_for_grid,
+)
+from repro.exec.__main__ import main as exec_main
+from repro.exec.jobs import hash_payload
+from repro.experiments.runner import (
+    clear_slot_trace_cache,
+    default_warmup,
+    thread_traces,
+)
+from repro.experiments.sweep import run_sweep
+from repro.workloads.mixes import TWO_THREAD_MIXES
+
+CFG = small_machine()
+INSNS = 400
+
+
+def tiny_job(seed: int = 0, **job_kwargs) -> SimJob:
+    return SimJob(
+        benchmarks=("parser", "vortex"), config=CFG, max_insns=INSNS,
+        seed=seed, **job_kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# SimJob content hashing
+# ----------------------------------------------------------------------
+class TestSimJobHash:
+    def test_equal_jobs_equal_hash(self):
+        assert tiny_job().content_hash() == tiny_job().content_hash()
+
+    def test_hash_is_sha256_hex(self):
+        h = tiny_job().content_hash()
+        assert len(h) == 64
+        int(h, 16)  # parses as hex
+
+    @pytest.mark.parametrize("change", [
+        dict(seed=1),
+        dict(max_insns=INSNS + 1),
+        dict(max_cycles=123),
+        dict(warmup=100),
+        dict(with_fairness=True),
+    ])
+    def test_any_field_change_changes_hash(self, change):
+        base = tiny_job()
+        kwargs = dict(benchmarks=base.benchmarks, config=base.config,
+                      max_insns=base.max_insns, seed=base.seed)
+        kwargs.update(change)
+        assert SimJob(**kwargs).content_hash() != base.content_hash()
+
+    def test_config_change_changes_hash(self):
+        a = tiny_job()
+        b = SimJob(benchmarks=a.benchmarks,
+                   config=CFG.replace(iq_size=8),
+                   max_insns=a.max_insns, seed=a.seed)
+        assert a.content_hash() != b.content_hash()
+
+    def test_hash_stable_across_field_reordering(self):
+        # The canonical encoding sorts keys at every level, so the hash
+        # cannot depend on dict insertion (= dataclass declaration) order.
+        payload = tiny_job().fingerprint_payload()
+        reordered = dict(reversed(list(payload.items())))
+        reordered["config"] = dict(
+            reversed(list(payload["config"].items()))
+        )
+        assert hash_payload(reordered) == hash_payload(payload)
+        assert hash_payload(payload) == tiny_job().content_hash()
+
+    def test_longest_job_first_cost_ordering(self):
+        two = tiny_job()
+        four = SimJob(benchmarks=("parser", "vortex", "gcc", "gzip"),
+                      config=CFG, max_insns=INSNS, seed=0)
+        fair = SimJob(benchmarks=two.benchmarks, config=CFG,
+                      max_insns=INSNS, seed=0, with_fairness=True)
+        assert four.cost_estimate() > two.cost_estimate()
+        assert fair.cost_estimate() > two.cost_estimate()
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def executed_job():
+    job = tiny_job()
+    return job, job.run()
+
+
+class TestResultCache:
+    def test_miss_on_empty(self, tmp_path, executed_job):
+        job, _ = executed_job
+        assert ResultCache(tmp_path).get(job) is None
+
+    def test_roundtrip_equality(self, tmp_path, executed_job):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        cache.put(job, payload)
+        got = cache.get(job)
+        assert got is not None
+        assert got.result == payload.result
+        assert got.fairness is None
+
+    def test_no_temp_files_left(self, tmp_path, executed_job):
+        job, payload = executed_job
+        ResultCache(tmp_path).put(job, payload)
+        assert [p.name for p in tmp_path.iterdir()] == [
+            f"{job.content_hash()}.json"
+        ]
+
+    def test_corrupt_entry_is_miss(self, tmp_path, executed_job):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, payload)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(job) is None
+
+    def test_schema_mismatch_is_miss(self, tmp_path, executed_job):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, payload)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(job) is None
+
+    def test_version_mismatch_is_miss(self, tmp_path, executed_job):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, payload)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["repro_version"] = "0.0.0-stale"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(job) is None
+
+    def test_key_mismatch_is_miss(self, tmp_path, executed_job):
+        # An entry whose recorded key disagrees with the requesting job
+        # (hand-edited or hash-collided file) must not be served.
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, payload)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["key"] = "0" * 64
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(job) is None
+
+    def test_stats_and_clear(self, tmp_path, executed_job):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        assert cache.stats().entries == 0
+        cache.put(job, payload)
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+        assert cache.clear() == 1
+        assert cache.stats().entries == 0
+
+    def test_cli_stats_and_clear(self, tmp_path, executed_job, capsys):
+        job, payload = executed_job
+        ResultCache(tmp_path).put(job, payload)
+        assert exec_main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert exec_main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert ResultCache(tmp_path).stats().entries == 0
+
+
+# ----------------------------------------------------------------------
+# executor: determinism, caching, fault handling
+# ----------------------------------------------------------------------
+def grid_jobs() -> list[SimJob]:
+    keyed = jobs_for_grid(
+        TWO_THREAD_MIXES[:3], CFG, ("traditional", "2op_block"), (8, 16),
+        INSNS, 0,
+    )
+    return [job for _, job in keyed]
+
+
+class TestExecuteJobs:
+    def test_parallel_grid_byte_identical_to_serial(self):
+        """Acceptance: >= 12 grid points, jobs=4 == jobs=1, byte for byte."""
+        jobs = grid_jobs()
+        assert len(jobs) >= 12
+        serial, serial_rep = execute_jobs(jobs, ExecutorConfig(jobs=1))
+        parallel, parallel_rep = execute_jobs(jobs, ExecutorConfig(jobs=4))
+        assert serial_rep.simulated == len(jobs)
+        assert parallel_rep.simulated == len(jobs)
+        assert [p.result for p in serial] == [p.result for p in parallel]
+
+    def test_warm_cache_rerun_simulates_nothing(self, tmp_path):
+        jobs = grid_jobs()[:4]
+        ex = ExecutorConfig(jobs=1, cache_dir=tmp_path)
+        cold, cold_rep = execute_jobs(jobs, ex)
+        warm, warm_rep = execute_jobs(jobs, ex)
+        assert cold_rep.cached == 0 and cold_rep.simulated == len(jobs)
+        assert warm_rep.simulated == 0 and warm_rep.cached == len(jobs)
+        assert [p.result for p in cold] == [p.result for p in warm]
+
+    def test_progress_counts(self, tmp_path):
+        jobs = grid_jobs()[:3]
+        ex = ExecutorConfig(jobs=1, cache_dir=tmp_path)
+        execute_jobs(jobs[:1], ex)  # pre-warm one entry
+        events = []
+        _, report = execute_jobs(jobs, ex, progress=events.append)
+        assert [e.outcome for e in events] == [
+            "cached", "simulated", "simulated"
+        ]
+        assert events[-1].report.completed == len(jobs)
+        assert report.cached == 1 and report.simulated == 2
+
+    def test_in_process_failure_raises_after_retries(self):
+        bad = SimJob(benchmarks=("no_such_benchmark",), config=CFG,
+                     max_insns=INSNS, seed=0)
+        with pytest.raises(ExecutionError) as err:
+            execute_jobs([bad], ExecutorConfig(jobs=1, retries=2))
+        assert "no_such_benchmark" in str(err.value)
+        assert err.value.report.retried == 2
+        assert err.value.report.failed == 1
+
+    def test_worker_failure_raises_after_retries(self):
+        # The trace profile lookup raises inside the worker process; the
+        # error must be serialised back and the job retried (bounded).
+        bad = SimJob(benchmarks=("no_such_benchmark",), config=CFG,
+                     max_insns=INSNS, seed=0)
+        ok = tiny_job()
+        with pytest.raises(ExecutionError) as err:
+            execute_jobs([bad, ok], ExecutorConfig(jobs=2, retries=1))
+        assert len(err.value.failures) == 1
+        assert "no_such_benchmark" in err.value.failures[0].message
+        assert err.value.report.retried == 1
+
+    def test_worker_crash_is_retried_then_failed(self, monkeypatch):
+        # Simulate a hard crash (worker exits without reporting). fork
+        # inherits the monkeypatched method, so this dies in the child.
+        monkeypatch.setattr(SimJob, "run", lambda self: os._exit(3))
+        with pytest.raises(ExecutionError) as err:
+            execute_jobs(
+                [tiny_job(), tiny_job(seed=1)],
+                ExecutorConfig(jobs=2, retries=1),
+            )
+        assert "crashed" in str(err.value)
+        assert err.value.report.retried >= 1
+
+    def test_per_job_timeout(self):
+        with pytest.raises(ExecutionError) as err:
+            execute_jobs(
+                [tiny_job(), tiny_job(seed=1)],
+                ExecutorConfig(jobs=2, timeout=0.001, retries=1),
+            )
+        assert "timed out" in str(err.value)
+
+    def test_fallback_without_fork(self, monkeypatch):
+        monkeypatch.setattr(pool_mod, "fork_available", lambda: False)
+        jobs = [tiny_job(), tiny_job(seed=1)]
+        payloads, report = execute_jobs(jobs, ExecutorConfig(jobs=4))
+        assert report.simulated == 2
+        assert payloads[0].result == tiny_job().run().result
+
+    def test_executor_config_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        ex = ExecutorConfig.from_env()
+        assert ex.jobs == 3
+        assert str(ex.cache_dir) == str(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert ExecutorConfig.from_env(default_cache=True).cache_dir is None
+
+
+# ----------------------------------------------------------------------
+# sweep integration
+# ----------------------------------------------------------------------
+class TestSweepIntegration:
+    def test_run_sweep_parallel_matches_serial(self, tmp_path):
+        kwargs = dict(
+            mixes=TWO_THREAD_MIXES[:3], base_config=CFG,
+            schedulers=("traditional", "2op_block"), iq_sizes=(8, 16),
+            max_insns=INSNS, seed=0,
+        )
+        serial = run_sweep(**kwargs, executor=ExecutorConfig(jobs=1))
+        parallel = run_sweep(
+            **kwargs,
+            executor=ExecutorConfig(jobs=4, cache_dir=tmp_path),
+        )
+        assert len(serial.results) == 12
+        assert serial.results == parallel.results
+        # Warm rerun: the whole grid is served from the cache.
+        warm = run_sweep(
+            **kwargs, executor=ExecutorConfig(jobs=4, cache_dir=tmp_path)
+        )
+        assert warm.exec_report is not None
+        assert warm.exec_report.simulated == 0
+        assert warm.exec_report.cached == 12
+        assert warm.results == serial.results
+
+    def test_run_sweep_fairness_through_cache(self, tmp_path):
+        ex = ExecutorConfig(jobs=1, cache_dir=tmp_path)
+        kwargs = dict(
+            mixes=TWO_THREAD_MIXES[:1], base_config=CFG,
+            schedulers=("traditional",), iq_sizes=(8,),
+            max_insns=INSNS, seed=0, with_fairness=True,
+        )
+        cold = run_sweep(**kwargs, executor=ex)
+        warm = run_sweep(**kwargs, executor=ex)
+        assert warm.exec_report.simulated == 0
+        assert warm.fairness == cold.fairness
+        assert warm.results == cold.results
+
+
+# ----------------------------------------------------------------------
+# slot-trace memoisation (runner)
+# ----------------------------------------------------------------------
+class TestSlotTraceMemo:
+    def test_traces_are_memoised_across_calls(self):
+        clear_slot_trace_cache()
+        warmup = default_warmup(INSNS)
+        first = thread_traces(["parser", "vortex"], INSNS, 0, warmup)
+        second = thread_traces(["parser", "vortex"], INSNS, 0, warmup)
+        # Identity, not just equality: nothing was regenerated.
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_distinct_slots_get_distinct_traces(self):
+        clear_slot_trace_cache()
+        warmup = default_warmup(INSNS)
+        a, b = thread_traces(["parser", "parser"], INSNS, 0, warmup)
+        assert a is not b
+        assert a.seed != b.seed
+
+    def test_clear_resets_memo(self):
+        import repro.experiments.runner as runner_mod
+
+        warmup = default_warmup(INSNS)
+        thread_traces(["parser"], INSNS, 0, warmup)
+        assert runner_mod._SLOT_TRACE_CACHE
+        clear_slot_trace_cache()
+        assert not runner_mod._SLOT_TRACE_CACHE

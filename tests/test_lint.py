@@ -165,6 +165,42 @@ class TestRPR005:
 
 
 # ----------------------------------------------------------------------
+# RPR006 — benchmarks must route through repro.exec
+# ----------------------------------------------------------------------
+class TestRPR006:
+    BENCH = "benchmarks/bench_example.py"
+
+    def test_direct_simulate_mix_flagged(self):
+        src = "r = simulate_mix(mix, cfg)\n"
+        assert codes(src, path=self.BENCH) == ["RPR006"]
+
+    def test_dotted_call_flagged(self):
+        src = "r = runner.simulate_mix_with_fairness(mix, cfg)\n"
+        assert codes(src, path=self.BENCH) == ["RPR006"]
+
+    def test_direct_processor_construction_flagged(self):
+        src = "core = SMTProcessor(cfg, traces)\n"
+        assert codes(src, path=self.BENCH) == ["RPR006"]
+
+    def test_same_code_outside_benchmarks_is_clean(self):
+        assert codes("r = simulate_mix(mix, cfg)\n") == []
+
+    def test_executor_route_is_clean(self):
+        src = "payloads, report = execute_jobs(jobs, EXECUTOR)\n"
+        assert codes(src, path=self.BENCH) == []
+
+    def test_noqa_escape(self):
+        src = "core = SMTProcessor(cfg, traces)  # repro: noqa[RPR006]\n"
+        assert codes(src, path=self.BENCH) == []
+
+    def test_reference_without_call_is_clean(self):
+        # Imports / bare names are fine; only invoking the simulator
+        # directly bypasses the executor.
+        src = "from repro.experiments.runner import simulate_mix\n"
+        assert codes(src, path=self.BENCH) == []
+
+
+# ----------------------------------------------------------------------
 # noqa suppression + parse errors
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -239,3 +275,9 @@ class TestRealTree:
         src_root = Path(repro.__file__).parent
         assert main(["lint", str(src_root)]) == 0
         capsys.readouterr()
+
+    def test_benchmarks_tree_is_clean(self):
+        bench_root = Path(__file__).resolve().parent.parent / "benchmarks"
+        assert bench_root.is_dir()
+        violations = lint_paths([bench_root])
+        assert violations == [], "\n".join(v.render() for v in violations)
