@@ -4,7 +4,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test lint sanitize-smoke bench-sanitizer figures figures-parallel \
-	cache-clear ci
+	cache-clear cache-verify chaos-smoke ci
 
 test:
 	python -m pytest -x -q
@@ -28,6 +28,16 @@ figures-parallel:
 
 cache-clear:
 	python -m repro.exec cache clear
+
+cache-verify:
+	python -m repro.exec cache verify
+
+# Assert the headline robustness invariant: a sweep under injected
+# worker kills/hangs and cache corruption matches the fault-free run
+# byte for byte (see docs/robustness.md).
+chaos-smoke:
+	REPRO_CHAOS="kill=0.3,hang=0.05,corrupt=0.5,delay=0.2,dup=0.2,seed=7" \
+		python -m repro.exec chaos-smoke
 
 sanitize-smoke:
 	python -m repro.experiments.cli mix parser vortex \

@@ -13,13 +13,19 @@ simulator; this is pure Python). Scale knobs:
 Set ``REPRO_BENCH_INSNS=20000 REPRO_BENCH_MIXES=12
 REPRO_BENCH_IQS=32,48,64,96,128`` for a full-fidelity (slow) run.
 
-Execution knobs (see ``docs/exec.md``):
+Execution knobs (see ``docs/exec.md`` and ``docs/robustness.md``):
 
 * ``REPRO_JOBS``       — worker processes per grid (default 1),
 * ``REPRO_CACHE``      — ``0`` disables the content-addressed result
   cache (default on: a warm rerun of ``make figures`` performs zero
   simulation),
-* ``REPRO_CACHE_DIR``  — cache root (default ``results/cache``).
+* ``REPRO_CACHE_DIR``  — cache root (default ``results/cache``),
+* ``REPRO_JOURNAL``    — ``1`` (or a directory) journals every grid to
+  a crash-safe run log; with ``REPRO_RESUME=1`` an interrupted bench
+  run replays completed grid points instead of re-simulating them,
+* ``REPRO_CHAOS``      — deterministic fault injection, e.g.
+  ``kill=0.3,corrupt=0.5,seed=7`` (results are guaranteed unchanged),
+* ``REPRO_WATCHDOG``   — hung-worker grace in seconds (``0`` disables).
 
 Rendered outputs are written to ``results/`` next to this directory and
 echoed to stdout (visible with ``pytest -s``).
@@ -27,6 +33,7 @@ echoed to stdout (visible with ``pytest -s``).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from pathlib import Path
 
@@ -47,17 +54,17 @@ SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-#: Grid-execution policy every reproduction bench routes through: worker
-#: count from ``REPRO_JOBS``, result cache on unless ``REPRO_CACHE=0``
-#: (rooted at ``REPRO_CACHE_DIR`` or ``results/cache``).
-EXECUTOR = ExecutorConfig(
-    jobs=max(1, int(os.environ.get("REPRO_JOBS", "1"))),
-    cache_dir=(
-        None if os.environ.get("REPRO_CACHE") == "0"
-        else Path(os.environ.get("REPRO_CACHE_DIR",
-                                 str(RESULTS_DIR / "cache")))
-    ),
-)
+#: Grid-execution policy every reproduction bench routes through: all
+#: ``REPRO_*`` execution knobs (workers, cache, journal/resume, chaos,
+#: watchdog), with cache and journal roots anchored under ``results/``
+#: next to this directory rather than the current working directory.
+EXECUTOR = ExecutorConfig.from_env(default_cache=True)
+if EXECUTOR.cache_dir is not None and "REPRO_CACHE_DIR" not in os.environ:
+    EXECUTOR = EXECUTOR.with_cache_dir(RESULTS_DIR / "cache")
+if EXECUTOR.journal_dir is not None and os.environ.get("REPRO_JOURNAL") == "1":
+    EXECUTOR = dataclasses.replace(
+        EXECUTOR, journal_dir=RESULTS_DIR / "journal"
+    )
 
 
 def write_result(name: str, text: str) -> None:

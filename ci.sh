@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, lint (ruff + the custom repro.analysis pass),
-# a short fully-sanitized end-to-end simulation, and a 2-worker sweep
-# smoke that asserts the result cache serves a warm rerun in full.
+# a short fully-sanitized end-to-end simulation, a 2-worker sweep smoke
+# that asserts the result cache serves a warm rerun in full, and a
+# chaos smoke that asserts a fault-injected sweep (worker kills/hangs,
+# cache corruption) still matches the fault-free golden run.
 set -euo pipefail
 cd "$(dirname "$0")"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -67,5 +69,11 @@ print(
     f"0 simulations"
 )
 PY
+
+echo "== chaos smoke (worker kills + hangs + cache corruption) =="
+# Deterministic fault injection: the chaotic run must finish and be
+# byte-identical to the fault-free golden run (docs/robustness.md).
+REPRO_CHAOS="kill=0.3,hang=0.05,corrupt=0.5,delay=0.2,dup=0.2,seed=7" \
+    python -m repro.exec chaos-smoke
 
 echo "CI OK"

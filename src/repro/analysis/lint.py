@@ -28,6 +28,11 @@ RPR006    benchmarks must route simulation through the
           worker pool and the result cache, silently serialising the
           grid and recomputing cached points (micro-benches that time
           the simulator core itself suppress this deliberately)
+RPR007    no silently-swallowed exceptions — an ``except`` body that
+          neither raises, calls anything, nor records state hides
+          faults the chaos suite is designed to surface; the few
+          deliberate swallows (absent cache entry, heartbeat pipe
+          closed by a dead parent) carry a noqa explaining why
 ========  ==============================================================
 
 A violation on line ``L`` is suppressed by a trailing
@@ -62,6 +67,7 @@ LINT_RULES: dict[str, str] = {
     "RPR004": "cross-thread state mutation outside the core cycle loop",
     "RPR005": "floating-point accumulation into a cycle/ipc counter",
     "RPR006": "direct simulator call in benchmarks/ bypassing repro.exec",
+    "RPR007": "except block silently swallows the exception",
 }
 
 #: Files (path suffixes) allowed to call numpy's RNG machinery directly.
@@ -188,6 +194,28 @@ def _target_counter_name(node: ast.AST) -> str | None:
     return None
 
 
+def _handler_swallows(body: list[ast.stmt]) -> bool:
+    """Whether an except body discards the exception without acting on it.
+
+    A body "acts" as soon as it raises, calls anything, binds or mutates
+    state, or branches — any of those can observe/record the fault. What
+    remains is the inert vocabulary: ``pass``/``continue``/``break``,
+    bare constant expressions (docstrings, ``...``), and ``return`` of a
+    constant (RPR007).
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        if isinstance(stmt, ast.Return) and (
+            stmt.value is None or isinstance(stmt.value, ast.Constant)
+        ):
+            continue
+        return False
+    return True
+
+
 def _stats_attr(node: ast.AST) -> str | None:
     """Counter name when ``node`` targets ``<...>stats.<name>`` (RPR003)."""
     if isinstance(node, ast.Subscript):
@@ -225,7 +253,7 @@ def discover_declared_counters(roots: list[Path]) -> frozenset[str] | None:
 def _declared_counters_from_source(source: str) -> frozenset[str] | None:
     try:
         tree = ast.parse(source)
-    except SyntaxError:
+    except SyntaxError:  # repro: noqa[RPR007] — RPR000 reports it instead
         return None
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef) and node.name == "PipelineStats":
@@ -381,6 +409,23 @@ class _FileLinter(ast.NodeVisitor):
                     f"floating-point accumulation into counter {name!r}; "
                     "cycle/ipc counters must stay exact integers",
                 )
+
+    # -- RPR007: swallowed exceptions -----------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _handler_swallows(node.body):
+            caught = _dotted(node.type) if node.type is not None else None
+            if caught is None and isinstance(node.type, ast.Tuple):
+                names = [_dotted(e) for e in node.type.elts]
+                if all(n is not None for n in names):
+                    caught = "(" + ", ".join(names) + ")"
+            what = f"except {caught}" if caught else "bare except"
+            self._flag(
+                node, "RPR007",
+                f"{what} swallows the exception without raising, "
+                "logging or recording anything; handle it, or mark a "
+                "deliberate swallow with '# repro: noqa[RPR007] — why'",
+            )
+        self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:

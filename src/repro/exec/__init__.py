@@ -1,21 +1,30 @@
-"""Parallel grid-execution engine with a content-addressed result cache.
+"""Parallel grid-execution engine: caching, journalling, fault tolerance.
 
 The evaluation pipeline's bottleneck stage is the grid runner: the
 paper's grid (schedulers x IQ sizes x mixes x thread counts) is
 embarrassingly parallel, and identical grid points recur across figures.
-This subsystem makes every sweep both parallel and incremental:
+This subsystem makes every sweep parallel, incremental, and — like the
+paper's dispatch engine with its deadlock-avoidance buffer and watchdog
+timer — guaranteed to make forward progress under faults:
 
-* :mod:`repro.exec.jobs`  — :class:`SimJob`, a grid point as picklable,
+* :mod:`repro.exec.jobs`    — :class:`SimJob`, a grid point as picklable,
   content-hashable data;
-* :mod:`repro.exec.cache` — :class:`ResultCache`, an on-disk
-  content-addressed store with atomic writes and self-invalidation;
-* :mod:`repro.exec.pool`  — :func:`execute_jobs`, a forked worker farm
-  with longest-job-first ordering, per-job timeouts and bounded retry,
-  falling back to in-process execution when ``jobs=1`` or the platform
-  lacks ``fork``.
+* :mod:`repro.exec.cache`   — :class:`ResultCache`, an on-disk
+  content-addressed store with atomic writes, payload checksums and
+  corrupt-entry quarantine;
+* :mod:`repro.exec.journal` — :class:`RunJournal`, a crash-safe fsync'd
+  transition log enabling exact resume of interrupted runs;
+* :mod:`repro.exec.chaos`   — :class:`ChaosConfig`, seeded deterministic
+  fault injection (worker kills/hangs, delivery faults, cache
+  corruption) for testing all of the above;
+* :mod:`repro.exec.pool`    — :func:`execute_jobs`, a forked worker farm
+  with longest-job-first ordering, per-job timeouts, a heartbeat
+  watchdog for hung workers, bounded retry and orphan reaping, falling
+  back to in-process execution when ``jobs=1`` or the platform lacks
+  ``fork``.
 
-See ``docs/exec.md`` for architecture, cache layout, invalidation rules
-and the determinism guarantee.
+See ``docs/exec.md`` for architecture and the determinism guarantee,
+``docs/robustness.md`` for the fault-tolerance contract.
 """
 
 from repro.exec.cache import (
@@ -23,9 +32,17 @@ from repro.exec.cache import (
     SCHEMA_VERSION,
     CacheStats,
     ResultCache,
+    VerifyReport,
     default_cache_dir,
 )
+from repro.exec.chaos import CHAOS_EXIT_CODE, ChaosConfig, ChaosError
 from repro.exec.jobs import JobResult, SimJob, jobs_for_grid
+from repro.exec.journal import (
+    DEFAULT_JOURNAL_DIR,
+    RunJournal,
+    default_journal_dir,
+    derive_run_id,
+)
 from repro.exec.pool import (
     ExecProgress,
     ExecReport,
@@ -34,12 +51,17 @@ from repro.exec.pool import (
     JobFailure,
     execute_jobs,
     fork_available,
+    live_worker_count,
 )
 
 __all__ = [
+    "CHAOS_EXIT_CODE",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_JOURNAL_DIR",
     "SCHEMA_VERSION",
     "CacheStats",
+    "ChaosConfig",
+    "ChaosError",
     "ExecProgress",
     "ExecReport",
     "ExecutionError",
@@ -47,9 +69,14 @@ __all__ = [
     "JobFailure",
     "JobResult",
     "ResultCache",
+    "RunJournal",
     "SimJob",
+    "VerifyReport",
     "default_cache_dir",
+    "default_journal_dir",
+    "derive_run_id",
     "execute_jobs",
     "fork_available",
     "jobs_for_grid",
+    "live_worker_count",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed on-disk result store with integrity checking.
 
 Layout: one JSON file per grid point, ``<root>/<content-hash>.json``.
 The default root is ``results/cache`` (override with ``REPRO_CACHE_DIR``
@@ -16,20 +16,37 @@ Each entry records:
   requesting job; a mismatch means a corrupt or hand-edited entry).
 * ``job`` — the job's fingerprint payload, for human inspection.
 * ``result`` / ``fairness`` — the stored :class:`SimResult` fields.
+* ``checksum`` — SHA-256 over the canonical encoding of the payload
+  fields, so a torn, truncated, or bit-rotted entry is *detected*, not
+  silently served.
 
 Writes are atomic (write to a same-directory temp file, then
 ``os.replace``), so a crashed or parallel writer can never leave a
 half-written entry behind — readers see either the old entry or the new
-one. Corrupt, truncated, or schema-mismatched entries are treated as
-misses; the executor then recomputes and overwrites them.
+one.
+
+Damage handling distinguishes two cases on read:
+
+* **stale** (schema or version mismatch) — a plain miss; the entry is
+  recomputed and overwritten in place;
+* **corrupt** (unparseable, checksum or key mismatch) — the entry is
+  *quarantined*: atomically renamed to ``<hash>.corrupt`` so the damage
+  stays visible (``cache stats`` counts quarantined files, ``cache
+  verify`` sweeps the whole store) while the executor recomputes.
 
 Floats survive the round trip exactly: ``json`` serialises Python floats
 with ``repr``, which round-trips IEEE-754 doubles bit-for-bit, so a
 cached :class:`SimResult` compares equal to a freshly simulated one.
 
+Fault injection: construct with ``chaos=``:class:`~repro.exec.chaos.
+ChaosConfig` (or let the executor pass it through) and entry writes are
+deterministically truncated/corrupted with the configured probability —
+the integrity machinery above is what makes this survivable.
+
 CLI::
 
     python -m repro.exec cache stats
+    python -m repro.exec cache verify
     python -m repro.exec cache clear
 """
 
@@ -42,14 +59,18 @@ from pathlib import Path
 
 from repro.metrics.ipc import SimResult
 
-from repro.exec.jobs import JobResult, SimJob
+from repro.exec.chaos import ChaosConfig
+from repro.exec.jobs import JobResult, SimJob, hash_payload
 
 #: Bump when the entry format or simulator behaviour changes (see
-#: docs/exec.md "Invalidation rules").
-SCHEMA_VERSION = 1
+#: docs/exec.md "Invalidation rules"). 2: payload checksum added.
+SCHEMA_VERSION = 2
 
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+#: Suffix quarantined (corrupt) entries are renamed to.
+CORRUPT_SUFFIX = ".corrupt"
 
 
 def default_cache_dir() -> Path:
@@ -71,13 +92,31 @@ class CacheStats:
     root: str
     entries: int
     total_bytes: int
+    #: Quarantined ``*.corrupt`` files awaiting inspection/deletion.
+    corrupt: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class VerifyReport:
+    """Outcome of a full-store integrity sweep (``cache verify``)."""
+
+    checked: int
+    ok: int
+    #: Schema/version mismatches: valid files awaiting recomputation.
+    stale: int
+    #: Entries failing integrity checks, moved to ``*.corrupt``.
+    quarantined: int
 
 
 class ResultCache:
     """Content-addressed store of :class:`JobResult` values."""
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(self, root: str | Path | None = None,
+                 chaos: ChaosConfig | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Fault-injection policy applied on write (None = writes are
+        #: faithful). Reads never inject: detection is the point.
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     def path_for(self, job: SimJob) -> Path:
@@ -87,88 +126,169 @@ class ResultCache:
     def get(self, job: SimJob) -> JobResult | None:
         """Stored result for ``job``, or None on miss.
 
-        Corrupt JSON, schema/version mismatches, and key mismatches all
-        read as misses — never as errors — so a poisoned entry costs one
-        recomputation, not a crashed sweep.
+        Never raises: a missing or stale entry is a plain miss; a
+        *corrupt* entry (bad JSON, checksum/key mismatch) is quarantined
+        to ``<hash>.corrupt`` and then reads as a miss, so a poisoned
+        entry costs one recomputation plus a visible quarantine file,
+        not a crashed sweep.
         """
         key = job.content_hash()
         path = self.root / f"{key}.json"
         try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            blob = path.read_bytes()
+        except OSError:  # repro: noqa[RPR007] — absent entry: ordinary miss
             return None
-        if not isinstance(entry, dict):
-            return None
-        if entry.get("schema") != SCHEMA_VERSION:
-            return None
-        if entry.get("repro_version") != _repro_version():
-            return None
-        if entry.get("key") != key:
-            return None
+        state, payload = self._validate(key, blob)
+        if state == "ok":
+            return payload
+        if state == "corrupt":
+            self._quarantine(path)
+        return None
+
+    def _validate(self, key: str,
+                  blob: bytes) -> tuple[str, JobResult | None]:
+        """Classify an entry's bytes: ("ok", payload) / ("stale", None)
+        / ("corrupt", None)."""
         try:
-            return _decode_job_result(entry)
+            entry = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return "corrupt", None
+        if not isinstance(entry, dict):
+            return "corrupt", None
+        if entry.get("schema") != SCHEMA_VERSION:
+            return "stale", None
+        if entry.get("repro_version") != _repro_version():
+            return "stale", None
+        if entry.get("key") != key:
+            return "corrupt", None
+        body = {
+            "result": entry.get("result"),
+            "fairness": entry.get("fairness"),
+        }
+        try:
+            if entry.get("checksum") != hash_payload(body):
+                return "corrupt", None
+            return "ok", decode_job_result(body)
         except (KeyError, TypeError, ValueError):
-            return None
+            return "corrupt", None
+
+    def _quarantine(self, path: Path) -> Path:
+        """Atomically move a damaged entry aside as ``<hash>.corrupt``."""
+        target = path.with_suffix(CORRUPT_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:  # repro: noqa[RPR007] — lost a benign race
+            # A concurrent reader quarantined the same entry first;
+            # either way the bad file is out of the namespace.
+            pass
+        return target
 
     def put(self, job: SimJob, payload: JobResult) -> Path:
         """Atomically persist ``payload`` under the job's content hash."""
         self.root.mkdir(parents=True, exist_ok=True)
         key = job.content_hash()
         path = self.root / f"{key}.json"
+        body = encode_job_result(payload)
         entry = {
             "schema": SCHEMA_VERSION,
             "repro_version": _repro_version(),
             "key": key,
             "job": job.fingerprint_payload(),
-            "result": _encode_sim_result(payload.result),
-            "fairness": payload.fairness,
+            "checksum": hash_payload(body),
+            **body,
         }
+        blob = json.dumps(entry, sort_keys=True, indent=1).encode("utf-8")
+        if self.chaos is not None:
+            blob = self.chaos.corrupt_bytes(key, blob)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(
-            json.dumps(entry, sort_keys=True, indent=1), encoding="utf-8"
-        )
+        tmp.write_bytes(blob)
         os.replace(tmp, path)
         return path
 
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
-        """Entry count and on-disk footprint."""
+        """Entry count, on-disk footprint, quarantined-file count."""
         entries = 0
         total = 0
+        corrupt = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 entries += 1
                 total += path.stat().st_size
+            corrupt = sum(1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}"))
         return CacheStats(
-            root=str(self.root), entries=entries, total_bytes=total
+            root=str(self.root), entries=entries, total_bytes=total,
+            corrupt=corrupt,
         )
 
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+    def verify(self) -> VerifyReport:
+        """Integrity-sweep every entry; quarantine the corrupt ones.
+
+        Unlike :meth:`get`, this checks entries without knowing the
+        requesting job: the recorded ``key`` must match the filename and
+        the checksum must match the payload.
+        """
+        checked = ok = stale = quarantined = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.json")):
+                checked += 1
+                try:
+                    blob = path.read_bytes()
+                except OSError:  # repro: noqa[RPR007] — deleted underneath us
+                    continue
+                state, _ = self._validate(path.stem, blob)
+                if state == "ok":
+                    ok += 1
+                elif state == "stale":
+                    stale += 1
+                else:
+                    self._quarantine(path)
+                    quarantined += 1
+        return VerifyReport(checked=checked, ok=ok, stale=stale,
+                            quarantined=quarantined)
+
+    def clear(self, corrupt: bool = True) -> int:
+        """Delete every entry (and, by default, every quarantined
+        file); returns how many files were removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
+            patterns = ["*.json"] + ([f"*{CORRUPT_SUFFIX}"] if corrupt
+                                     else [])
+            for pattern in patterns:
+                for path in self.root.glob(pattern):
+                    path.unlink(missing_ok=True)
+                    removed += 1
         return removed
 
 
 # ----------------------------------------------------------------------
 # (de)serialisation
 # ----------------------------------------------------------------------
-def _encode_sim_result(result: SimResult) -> dict[str, object]:
+def encode_job_result(payload: JobResult) -> dict[str, object]:
+    """Encode a :class:`JobResult` as the JSON-safe payload body shared
+    by cache entries and journal ``done`` records."""
+    result = payload.result
     return {
-        "benchmarks": list(result.benchmarks),
-        "scheduler": result.scheduler,
-        "iq_size": result.iq_size,
-        "cycles": result.cycles,
-        "committed": list(result.committed),
-        "extras": dict(result.extras),
+        "result": {
+            "benchmarks": list(result.benchmarks),
+            "scheduler": result.scheduler,
+            "iq_size": result.iq_size,
+            "cycles": int(result.cycles),
+            "committed": [int(c) for c in result.committed],
+            # Normalised to float so encoding a fresh result and
+            # re-encoding a decoded one are byte-identical (extras may
+            # hold ints in memory; decode always yields floats).
+            "extras": {str(k): float(v)
+                       for k, v in result.extras.items()},
+        },
+        "fairness": (None if payload.fairness is None
+                     else float(payload.fairness)),
     }
 
 
-def _decode_job_result(entry: dict[str, object]) -> JobResult:
-    raw = entry["result"]
+def decode_job_result(body: dict[str, object]) -> JobResult:
+    """Inverse of :func:`encode_job_result`."""
+    raw = body["result"]
     if not isinstance(raw, dict):
         raise TypeError("result field is not an object")
     result = SimResult(
@@ -179,7 +299,7 @@ def _decode_job_result(entry: dict[str, object]) -> JobResult:
         committed=tuple(int(c) for c in raw["committed"]),
         extras={str(k): float(v) for k, v in dict(raw["extras"]).items()},
     )
-    fairness = entry.get("fairness")
+    fairness = body.get("fairness")
     return JobResult(
         result=result,
         fairness=None if fairness is None else float(fairness),

@@ -21,7 +21,12 @@ import json
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.config.machine import MachineConfig
+from repro.config.machine import (
+    BranchPredictorConfig,
+    CacheConfig,
+    MachineConfig,
+    MemoryConfig,
+)
 from repro.metrics.ipc import SimResult
 
 
@@ -69,6 +74,27 @@ class SimJob:
             "with_fairness": self.with_fairness,
         }
 
+    @classmethod
+    def from_fingerprint(cls, payload: dict[str, object]) -> "SimJob":
+        """Reconstruct a job from :meth:`fingerprint_payload` output.
+
+        The run journal records each queued job's fingerprint so
+        ``python -m repro.exec resume`` can rebuild and re-execute the
+        incomplete remainder of an interrupted grid. Round-trip safety
+        is test-enforced: the reconstructed job has the same content
+        hash as the original.
+        """
+        return cls(
+            benchmarks=tuple(str(b) for b in payload["benchmarks"]),
+            config=config_from_dict(payload["config"]),
+            max_insns=int(payload["max_insns"]),
+            seed=int(payload["seed"]),
+            max_cycles=int(payload["max_cycles"]),
+            warmup=(None if payload["warmup"] is None
+                    else int(payload["warmup"])),
+            with_fairness=bool(payload["with_fairness"]),
+        )
+
     def content_hash(self) -> str:
         """Stable SHA-256 hex digest of the job's content.
 
@@ -111,6 +137,27 @@ class SimJob:
             self.max_cycles, self.warmup,
         )
         return JobResult(result=result)
+
+
+def config_from_dict(raw: object) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from ``dataclasses.asdict`` form.
+
+    Inverse of the ``config`` leg of :meth:`SimJob.fingerprint_payload`;
+    nested cache/branch-predictor dataclasses are reconstructed so the
+    result validates itself exactly like a hand-built config.
+    """
+    if not isinstance(raw, dict):
+        raise TypeError("config payload is not an object")
+    d = dict(raw)
+    mem = dict(d.pop("mem"))
+    d["mem"] = MemoryConfig(
+        l1i=CacheConfig(**mem.pop("l1i")),
+        l1d=CacheConfig(**mem.pop("l1d")),
+        l2=CacheConfig(**mem.pop("l2")),
+        **mem,
+    )
+    d["bp"] = BranchPredictorConfig(**d.pop("bp"))
+    return MachineConfig(**d)
 
 
 def hash_payload(payload: dict[str, object]) -> str:

@@ -1,47 +1,83 @@
-"""Parallel grid execution with caching, timeouts and bounded retry.
+"""Parallel grid execution with caching, timeouts, retry and chaos.
 
 :func:`execute_jobs` is the single entry point every sweep, figure
 driver and benchmark routes through. It
 
-* consults the :class:`~repro.exec.cache.ResultCache` first (when one is
-  configured), so a warm rerun performs zero simulation;
+* replays any previously-journalled results first (``resume``), then
+  consults the :class:`~repro.exec.cache.ResultCache` (when one is
+  configured), so an interrupted or warm rerun performs zero
+  re-simulation of completed grid points;
 * runs the remaining jobs either in-process (``jobs=1``, a single
   pending job, or a platform without ``fork``) or on a farm of forked
   worker processes, scheduling **longest job first** so one straggler
   does not serialise the tail of the grid;
-* enforces a per-job wall-clock timeout and retries crashed or
-  timed-out workers a bounded number of times;
-* reports progress (completed / cached / failed counts) through a
-  callback after every job.
+* enforces a per-job wall-clock timeout, detects *hung* (no longer
+  heartbeating) workers within one poll interval via a per-worker
+  heartbeat pipe, escalates ``terminate -> kill``, and retries crashed,
+  hung or timed-out workers a bounded number of times;
+* appends one fsync'd record per job transition to the run journal
+  (when configured), terminates children and flushes the journal on
+  ``KeyboardInterrupt`` before re-raising, and reaps any orphaned
+  worker at interpreter exit;
+* optionally injects deterministic faults (worker kills/hangs, delivery
+  delay/duplication, cache corruption) from a seeded
+  :class:`~repro.exec.chaos.ChaosConfig` — the test-enforced invariant
+  is that a chaotic run's results are byte-identical to a fault-free
+  run's.
 
 Determinism: workers only ever *compute* — each job is an independent
 pure function of its content (see :mod:`repro.exec.jobs`), results are
 reassembled in submission order, and nothing about scheduling order,
-worker count, or cache state can leak into a result value. A grid
-executed with ``jobs=8`` is byte-identical to ``jobs=1``; the test suite
-enforces this.
+worker count, cache state, or injected faults can leak into a result
+value. A grid executed with ``jobs=8`` is byte-identical to ``jobs=1``;
+the test suite enforces this.
 
-The wall clock is read for *harness* concerns only (timeouts, progress)
-— never inside simulation code — hence the targeted RPR001 suppression
-on the import below.
+The wall clock is read for *harness* concerns only (timeouts,
+heartbeats, progress) — never inside simulation code — hence the
+targeted RPR001 suppression on the import below.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
-from time import monotonic as _monotonic  # repro: noqa[RPR001]
+from time import (  # repro: noqa[RPR001]
+    monotonic as _monotonic,
+    sleep as _sleep,
+)
 
 from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.chaos import CHAOS_EXIT_CODE, ChaosConfig, ChaosError
 from repro.exec.jobs import JobResult, SimJob
+from repro.exec.journal import RunJournal, derive_run_id, journal_dir_from_env
 
 #: Poll interval for the farm's event loop (seconds). Workers signal
-#: completion through pipes, so this only bounds timeout detection lag.
+#: completion through pipes, so this only bounds timeout/watchdog
+#: detection lag.
 _POLL_SECONDS = 0.05
+
+#: Grace between SIGTERM and SIGKILL when escalating on a stuck worker.
+_TERM_GRACE_SECONDS = 1.0
+
+#: Default heartbeat period for workers (the parent tolerates a
+#: configurable multiple of this before declaring a worker hung).
+_HEARTBEAT_SECONDS = 0.1
+
+#: Default hung-worker grace (seconds of heartbeat silence). Generous:
+#: the heartbeat thread ticks every 0.1 s regardless of how slow the
+#: simulation is, so only a genuinely stuck process goes silent.
+_DEFAULT_WATCHDOG_SECONDS = 30.0
+
+#: Workers spawned by this process that have not yet been joined;
+#: :func:`_reap_orphans` sweeps it at interpreter exit so no simulation
+#: child can outlive the harness.
+_LIVE_WORKERS: set = set()
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,16 +95,40 @@ class ExecutorConfig:
     #: Per-job wall-clock limit in seconds (process mode only; a job
     #: cannot be interrupted in-process). None means unlimited.
     timeout: float | None = None
-    #: How many *additional* attempts a crashed or timed-out job gets
-    #: before it is reported as failed.
+    #: How many *additional* attempts a crashed, hung or timed-out job
+    #: gets before it is reported as failed.
     retries: int = 1
+    #: Directory of the crash-safe run journal; None disables
+    #: journalling (and hence resume).
+    journal_dir: str | Path | None = None
+    #: Journal file name; None derives a content-addressed id from the
+    #: batch (same grid -> same journal).
+    run_id: str | None = None
+    #: Replay completed results from an existing journal instead of
+    #: rotating it aside and starting fresh.
+    resume: bool = False
+    #: Deterministic fault injection; None runs faithfully.
+    chaos: ChaosConfig | None = None
+    #: Declare a worker hung when its heartbeat pipe has been silent
+    #: this many seconds (process mode only); None disables the
+    #: watchdog. Distinct from ``timeout``: a slow-but-computing worker
+    #: keeps heartbeating and only ``timeout`` can reap it, while a
+    #: hung worker stops beating and is reaped within roughly this
+    #: grace period regardless of how generous ``timeout`` is.
+    watchdog: float | None = _DEFAULT_WATCHDOG_SECONDS
 
     @classmethod
     def from_env(cls, default_cache: bool = False) -> "ExecutorConfig":
-        """Build from ``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``.
+        """Build from the ``REPRO_*`` execution knobs.
 
-        ``REPRO_CACHE=1`` (or ``default_cache=True``) enables the cache
-        at its default root; ``REPRO_CACHE=0`` disables it either way.
+        ``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` as
+        before (``REPRO_CACHE=1`` — or ``default_cache=True`` — enables
+        the cache at its default root, ``REPRO_CACHE=0`` disables it
+        either way); ``REPRO_JOURNAL`` (``1`` or a directory) enables
+        the run journal; ``REPRO_RESUME=1`` resumes from it;
+        ``REPRO_CHAOS`` configures fault injection (see
+        :mod:`repro.exec.chaos`); ``REPRO_WATCHDOG`` overrides the hung
+        -worker grace in seconds (``0`` disables).
         """
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
         cache_flag = os.environ.get("REPRO_CACHE")
@@ -76,9 +136,17 @@ class ExecutorConfig:
             cached = default_cache
         else:
             cached = cache_flag != "0"
+        watchdog_env = os.environ.get("REPRO_WATCHDOG")
+        watchdog: float | None = _DEFAULT_WATCHDOG_SECONDS
+        if watchdog_env is not None:
+            watchdog = float(watchdog_env) or None
         return cls(
             jobs=max(1, jobs),
             cache_dir=default_cache_dir() if cached else None,
+            journal_dir=journal_dir_from_env(),
+            resume=os.environ.get("REPRO_RESUME", "0") not in ("", "0"),
+            chaos=ChaosConfig.from_env(),
+            watchdog=watchdog,
         )
 
     def with_cache_dir(self, cache_dir: str | Path | None) -> "ExecutorConfig":
@@ -93,17 +161,21 @@ class ExecReport:
     total: int = 0
     #: Jobs satisfied from the result cache without simulating.
     cached: int = 0
+    #: Jobs replayed from a prior run's journal without simulating.
+    resumed: int = 0
     #: Jobs actually simulated (in-process or in a worker).
     simulated: int = 0
     #: Jobs that exhausted their retry budget.
     failed: int = 0
-    #: Crashed/timed-out attempts that were retried.
+    #: Crashed/hung/timed-out attempts that were retried.
     retried: int = 0
+    #: Journal id of this run; None when journalling is off.
+    run_id: str | None = None
 
     @property
     def completed(self) -> int:
-        """Jobs resolved so far (cached + simulated + failed)."""
-        return self.cached + self.simulated + self.failed
+        """Jobs resolved so far (cached + resumed + simulated + failed)."""
+        return self.cached + self.resumed + self.simulated + self.failed
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,7 +184,7 @@ class ExecProgress:
 
     job: SimJob
     payload: JobResult | None
-    #: "cached" | "simulated" | "failed"
+    #: "cached" | "resumed" | "simulated" | "failed"
     outcome: str
     report: ExecReport
 
@@ -150,21 +222,38 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def live_worker_count() -> int:
+    """Workers currently alive (diagnostics/tests; 0 after any clean
+    or interrupted :func:`execute_jobs` return)."""
+    return sum(1 for proc in _LIVE_WORKERS if proc.is_alive())
+
+
 def execute_jobs(jobs: Sequence[SimJob],
                  executor: ExecutorConfig | None = None,
                  progress: ProgressFn | None = None,
                  ) -> tuple[list[JobResult], ExecReport]:
     """Execute a batch of grid points; returns results in input order.
 
-    Raises :class:`ExecutionError` if any job fails terminally (crash or
-    timeout beyond the retry budget, or an exception raised by the
-    simulation itself).
+    Raises :class:`ExecutionError` if any job fails terminally (crash,
+    hang or timeout beyond the retry budget, or an exception raised by
+    the simulation itself). On ``KeyboardInterrupt`` all workers are
+    terminated, in-flight jobs are journalled as ``interrupted``, and
+    the interrupt is re-raised — a later ``resume`` run picks up
+    exactly the incomplete remainder.
     """
     cfg = executor if executor is not None else ExecutorConfig()
-    cache = ResultCache(cfg.cache_dir) if cfg.cache_dir is not None else None
+    cache = (ResultCache(cfg.cache_dir, chaos=cfg.chaos)
+             if cfg.cache_dir is not None else None)
     report = ExecReport(total=len(jobs))
     results: list[JobResult | None] = [None] * len(jobs)
     failures: list[JobFailure] = []
+    hashes = [job.content_hash() for job in jobs]
+
+    journal: RunJournal | None = None
+    if cfg.journal_dir is not None:
+        run_id = cfg.run_id or derive_run_id(hashes)
+        journal = RunJournal(cfg.journal_dir, run_id, resume=cfg.resume)
+        report.run_id = run_id
 
     def _emit(job: SimJob, payload: JobResult | None, outcome: str) -> None:
         if progress is not None:
@@ -172,29 +261,54 @@ def execute_jobs(jobs: Sequence[SimJob],
                 job=job, payload=payload, outcome=outcome, report=report
             ))
 
-    # -- 1. warm-cache pass --------------------------------------------
-    pending: list[int] = []
-    for idx, job in enumerate(jobs):
-        hit = cache.get(job) if cache is not None else None
-        if hit is not None:
-            results[idx] = hit
-            report.cached += 1
-            _emit(job, hit, "cached")
-        else:
-            pending.append(idx)
+    try:
+        replayed = (journal.completed_results()
+                    if journal is not None and cfg.resume else {})
+        if journal is not None:
+            journal.record("run-start", run_id=report.run_id,
+                           total=len(jobs), resume=cfg.resume,
+                           schema=1)
+            for job, job_hash in zip(jobs, hashes):
+                journal.record_queued(job, job_hash)
 
-    # -- 2. simulate what's left ---------------------------------------
-    use_processes = (
-        cfg.jobs > 1 and len(pending) > 1 and fork_available()
-    )
-    if use_processes:
-        _run_in_processes(
-            jobs, pending, cfg, cache, results, report, failures, _emit
+        # -- 1. journal replay, then warm-cache pass -------------------
+        pending: list[int] = []
+        for idx, job in enumerate(jobs):
+            prior = replayed.get(hashes[idx])
+            if prior is not None:
+                results[idx] = prior
+                report.resumed += 1
+                if journal is not None:
+                    journal.record("resumed", hashes[idx])
+                _emit(job, prior, "resumed")
+                continue
+            hit = cache.get(job) if cache is not None else None
+            if hit is not None:
+                results[idx] = hit
+                report.cached += 1
+                if journal is not None:
+                    journal.record("cached", hashes[idx])
+                _emit(job, hit, "cached")
+            else:
+                pending.append(idx)
+
+        # -- 2. simulate what's left -----------------------------------
+        use_processes = (
+            cfg.jobs > 1 and len(pending) > 1 and fork_available()
         )
-    else:
-        _run_in_process(
-            jobs, pending, cfg, cache, results, report, failures, _emit
-        )
+        runner = _run_in_processes if use_processes else _run_in_process
+        runner(jobs, hashes, pending, cfg, cache, results, report,
+               failures, _emit, journal)
+
+        if journal is not None:
+            journal.record(
+                "run-end", cached=report.cached, resumed=report.resumed,
+                simulated=report.simulated, failed=report.failed,
+                retried=report.retried,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
 
     if failures:
         raise ExecutionError(failures, report)
@@ -204,50 +318,137 @@ def execute_jobs(jobs: Sequence[SimJob],
 # ----------------------------------------------------------------------
 # in-process execution (jobs=1, single pending job, or fork-less host)
 # ----------------------------------------------------------------------
-def _run_in_process(jobs, pending, cfg, cache, results, report, failures,
-                    emit) -> None:
+def _run_in_process(jobs, hashes, pending, cfg, cache, results, report,
+                    failures, emit, journal) -> None:
     # Submission order is preserved so callers see progress stream in
     # grid order; timeouts cannot be enforced without a worker process.
+    # Chaos kills become raised ChaosErrors here — there is no worker
+    # process to sacrifice, but the retry path is exercised identically.
     for idx in pending:
         job = jobs[idx]
+        job_hash = hashes[idx]
         payload = None
         for attempt in range(cfg.retries + 1):
+            if journal is not None:
+                journal.record("started", job_hash, attempt=attempt)
             try:
+                if cfg.chaos is not None and cfg.chaos.should_kill(
+                    job_hash, attempt
+                ):
+                    raise ChaosError("chaos: injected in-process crash")
                 payload = job.run()
                 break
+            except KeyboardInterrupt:
+                if journal is not None:
+                    journal.record("interrupted", job_hash)
+                raise
             except Exception as exc:  # noqa: BLE001 - reported to caller
+                message = f"{type(exc).__name__}: {exc}"
                 if attempt < cfg.retries:
                     report.retried += 1
+                    if journal is not None:
+                        journal.record("retried", job_hash,
+                                       attempt=attempt, error=message)
                     continue
-                failures.append(JobFailure(
-                    job=job, message=f"{type(exc).__name__}: {exc}"
-                ))
+                failures.append(JobFailure(job=job, message=message))
         if payload is None:
             report.failed += 1
+            if journal is not None:
+                journal.record("failed", job_hash,
+                               error=failures[-1].message)
             emit(job, None, "failed")
             continue
         if cache is not None:
             cache.put(job, payload)
         results[idx] = payload
         report.simulated += 1
+        if journal is not None:
+            journal.record_done(job_hash, payload)
         emit(job, payload, "simulated")
 
 
 # ----------------------------------------------------------------------
 # forked worker farm
 # ----------------------------------------------------------------------
-def _worker_main(job: SimJob, conn) -> None:
-    """Worker entry point: run one job, ship the outcome, exit."""
+def _heartbeat_loop(conn, interval: float, stop: threading.Event) -> None:
+    """Worker-side heartbeat: tick until told to stop or the parent
+    goes away."""
     try:
+        while not stop.wait(interval):
+            conn.send(1)
+    except (BrokenPipeError, OSError):  # repro: noqa[RPR007]
+        # The parent closed its end (job finished or run tearing
+        # down); nothing left to signal.
+        pass
+
+
+def _worker_main(job: SimJob, job_hash: str, attempt: int, conn, hb_conn,
+                 hb_interval: float, chaos: ChaosConfig | None) -> None:
+    """Worker entry point: run one job, ship the outcome, exit.
+
+    When chaos is configured this is also where worker-side faults are
+    enacted: a hang stops the heartbeat thread (so the parent watchdog,
+    not the timeout, must catch it), a kill is a hard ``os._exit``
+    either before or after computing, and delivery may be delayed or
+    duplicated — all decided deterministically from the chaos seed.
+    """
+    stop = threading.Event()
+    if hb_conn is not None:
+        threading.Thread(
+            target=_heartbeat_loop, args=(hb_conn, hb_interval, stop),
+            daemon=True,
+        ).start()
+    try:
+        kill_point = None
+        if chaos is not None:
+            kill_point = chaos.kill_point(job_hash, attempt)
+            if chaos.should_hang(job_hash, attempt):
+                stop.set()  # a hung worker stops making progress
+                _sleep(chaos.hang_seconds)
+            if kill_point == "early":
+                os._exit(CHAOS_EXIT_CODE)
         payload = job.run()
+        if chaos is not None:
+            if kill_point == "late":
+                os._exit(CHAOS_EXIT_CODE)
+            delay = chaos.delivery_delay(job_hash, attempt)
+            if delay > 0.0:
+                _sleep(delay)
         conn.send(("ok", payload))
+        if chaos is not None and chaos.should_duplicate(job_hash, attempt):
+            conn.send(("ok", payload))
     except BaseException as exc:  # noqa: BLE001 - serialised to parent
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
-        except Exception:
+        except Exception:  # repro: noqa[RPR007] — parent gone; exit quietly
             pass
     finally:
+        stop.set()
         conn.close()
+        if hb_conn is not None:
+            hb_conn.close()
+
+
+def _reap(proc) -> None:
+    """Stop one worker for good: terminate, then kill if it lingers."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(_TERM_GRACE_SECONDS)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+    else:
+        proc.join()
+    _LIVE_WORKERS.discard(proc)
+
+
+def _reap_orphans() -> None:
+    """Interpreter-exit sweep: no worker may outlive the harness."""
+    for proc in list(_LIVE_WORKERS):
+        _reap(proc)
+
+
+atexit.register(_reap_orphans)
 
 
 @dataclass(slots=True)
@@ -256,12 +457,14 @@ class _Running:
     attempt: int
     proc: multiprocessing.process.BaseProcess
     conn: object
+    hb: object | None
     started: float
+    last_beat: float
     done: bool = field(default=False)
 
 
-def _run_in_processes(jobs, pending, cfg, cache, results, report, failures,
-                      emit) -> None:
+def _run_in_processes(jobs, hashes, pending, cfg, cache, results, report,
+                      failures, emit, journal) -> None:
     ctx = multiprocessing.get_context("fork")
     # Longest job first: dispatch the expensive grid points before the
     # cheap ones so the final workers drain short tails, minimising
@@ -272,64 +475,138 @@ def _run_in_processes(jobs, pending, cfg, cache, results, report, failures,
     queue.reverse()  # pop() takes from the end
     width = max(1, min(cfg.jobs, len(queue)))
     running: list[_Running] = []
+    hb_interval = (min(_HEARTBEAT_SECONDS, cfg.watchdog / 4)
+                   if cfg.watchdog is not None else _HEARTBEAT_SECONDS)
 
     def _spawn(idx: int, attempt: int) -> None:
         recv, send = ctx.Pipe(duplex=False)
+        hb_recv, hb_send = (ctx.Pipe(duplex=False)
+                            if cfg.watchdog is not None else (None, None))
         proc = ctx.Process(
-            target=_worker_main, args=(jobs[idx], send), daemon=True
+            target=_worker_main,
+            args=(jobs[idx], hashes[idx], attempt, send, hb_send,
+                  hb_interval, cfg.chaos),
+            daemon=True,
         )
         proc.start()
-        send.close()  # parent keeps only the read end
+        _LIVE_WORKERS.add(proc)
+        send.close()  # parent keeps only the read ends
+        if hb_send is not None:
+            hb_send.close()
+        now = _monotonic()
         running.append(_Running(
-            idx=idx, attempt=attempt, proc=proc, conn=recv,
-            started=_monotonic(),
+            idx=idx, attempt=attempt, proc=proc, conn=recv, hb=hb_recv,
+            started=now, last_beat=now,
         ))
+        if journal is not None:
+            journal.record("started", hashes[idx], attempt=attempt)
+
+    def _close_slot(slot: _Running, forced: bool) -> None:
+        slot.conn.close()
+        if slot.hb is not None:
+            slot.hb.close()
+        if forced:
+            _reap(slot.proc)
+        else:
+            slot.proc.join()
+            _LIVE_WORKERS.discard(slot.proc)
+        running.remove(slot)
 
     def _finish(slot: _Running, payload: JobResult | None,
-                error: str | None) -> None:
-        slot.conn.close()
-        slot.proc.join()
-        running.remove(slot)
+                error: str | None, forced: bool = False) -> None:
+        _close_slot(slot, forced)
         job = jobs[slot.idx]
+        job_hash = hashes[slot.idx]
         if payload is not None:
             if cache is not None:
                 cache.put(job, payload)
             results[slot.idx] = payload
             report.simulated += 1
+            if journal is not None:
+                journal.record_done(job_hash, payload)
             emit(job, payload, "simulated")
             return
         if slot.attempt < cfg.retries:
             report.retried += 1
+            if journal is not None:
+                journal.record("retried", job_hash, attempt=slot.attempt,
+                               error=error)
             _spawn(slot.idx, slot.attempt + 1)
             return
         failures.append(JobFailure(job=job, message=error or "worker died"))
         report.failed += 1
+        if journal is not None:
+            journal.record("failed", job_hash, error=error)
         emit(job, None, "failed")
 
-    while queue or running:
-        while queue and len(running) < width:
-            _spawn(queue.pop(), attempt=0)
+    try:
+        while queue or running:
+            while queue and len(running) < width:
+                _spawn(queue.pop(), attempt=0)
 
-        ready = _conn_wait(
-            [slot.conn for slot in running], timeout=_POLL_SECONDS
-        )
+            waitable = [slot.conn for slot in running]
+            waitable += [slot.hb for slot in running if slot.hb is not None]
+            ready = set(_conn_wait(waitable, timeout=_POLL_SECONDS))
+            now = _monotonic()
+            for slot in list(running):
+                if slot.hb is not None and slot.hb in ready:
+                    try:
+                        while slot.hb.poll(0):
+                            slot.hb.recv()
+                            slot.last_beat = now
+                    except (EOFError, OSError):
+                        # Worker exited; its result pipe (EOF or data)
+                        # resolves the slot below or next poll.
+                        slot.hb.close()
+                        slot.hb = None
+                if slot.conn in ready:
+                    try:
+                        kind, value = slot.conn.recv()
+                    except (EOFError, OSError):
+                        slot.proc.join()
+                        code = slot.proc.exitcode
+                        _finish(
+                            slot, None,
+                            "worker crashed before reporting "
+                            f"(exit code {code})",
+                        )
+                        continue
+                    if kind == "ok":
+                        _finish(slot, value, None)
+                    else:
+                        _finish(slot, None, str(value))
+                elif (
+                    cfg.timeout is not None
+                    and now - slot.started > cfg.timeout
+                ):
+                    _finish(
+                        slot, None,
+                        f"timed out after {cfg.timeout:g}s",
+                        forced=True,
+                    )
+                elif (
+                    cfg.watchdog is not None
+                    and slot.hb is not None
+                    and now - slot.last_beat > cfg.watchdog
+                ):
+                    _finish(
+                        slot, None,
+                        "worker hung (no heartbeat for "
+                        f"{cfg.watchdog:g}s)",
+                        forced=True,
+                    )
+    except BaseException:
+        # Ctrl-C (or any other escape): terminate and join every child,
+        # journal the in-flight jobs as interrupted so a resume run
+        # re-executes exactly them, then re-raise. The journal's
+        # per-record fsync means completed work is already durable.
         for slot in list(running):
-            if slot.conn in ready:
-                try:
-                    kind, value = slot.conn.recv()
-                except (EOFError, OSError):
-                    _finish(slot, None, "worker crashed before reporting")
-                    continue
-                if kind == "ok":
-                    _finish(slot, value, None)
-                else:
-                    _finish(slot, None, str(value))
-            elif (
-                cfg.timeout is not None
-                and _monotonic() - slot.started > cfg.timeout
-            ):
-                slot.proc.terminate()
-                _finish(
-                    slot, None,
-                    f"timed out after {cfg.timeout:g}s",
-                )
+            slot.conn.close()
+            if slot.hb is not None:
+                slot.hb.close()
+            _reap(slot.proc)
+            if journal is not None:
+                journal.record("interrupted", hashes[slot.idx],
+                               attempt=slot.attempt)
+        running.clear()
+        raise

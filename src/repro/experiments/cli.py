@@ -51,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", type=str, default=None,
                    help="cache root (default: $REPRO_CACHE_DIR or "
                         "results/cache); implies --cache")
+    p.add_argument("--journal", type=str, nargs="?", const="", default=None,
+                   metavar="DIR",
+                   help="append a crash-safe run journal per grid "
+                        "(default dir: $REPRO_JOURNAL or results/journal; "
+                        "see docs/robustness.md)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed jobs from existing journals "
+                        "instead of re-simulating them; implies --journal")
     _add_common(p)
 
     p = sub.add_parser("classify", help="single-thread ILP classification")
@@ -99,6 +107,13 @@ def main(argv: list[str] | None = None) -> int:
             executor = dataclasses.replace(executor, jobs=max(1, args.jobs))
         if args.cache_dir is not None:
             executor = executor.with_cache_dir(args.cache_dir)
+        if args.journal is not None or args.resume:
+            from repro.exec import default_journal_dir
+
+            journal_dir = args.journal or default_journal_dir()
+            executor = dataclasses.replace(
+                executor, journal_dir=journal_dir, resume=args.resume
+            )
 
         driver = FIGURE_DRIVERS[args.number]
         result = driver(

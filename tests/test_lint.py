@@ -201,6 +201,91 @@ class TestRPR006:
 
 
 # ----------------------------------------------------------------------
+# RPR007 — silently-swallowed exceptions
+# ----------------------------------------------------------------------
+class TestRPR007:
+    def test_pass_body_flagged(self):
+        src = "try:\n    work()\nexcept OSError:\n    pass\n"
+        assert codes(src) == ["RPR007"]
+
+    def test_bare_except_flagged(self):
+        src = "try:\n    work()\nexcept:\n    pass\n"
+        assert codes(src) == ["RPR007"]
+
+    def test_continue_in_loop_flagged(self):
+        src = (
+            "for x in xs:\n"
+            "    try:\n"
+            "        work(x)\n"
+            "    except ValueError:\n"
+            "        continue\n"
+        )
+        assert codes(src) == ["RPR007"]
+
+    def test_constant_return_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        return parse()\n"
+            "    except ValueError:\n"
+            "        return None\n"
+        )
+        assert codes(src) == ["RPR007"]
+
+    def test_tuple_of_exceptions_flagged(self):
+        src = "try:\n    work()\nexcept (OSError, ValueError):\n    pass\n"
+        assert codes(src) == ["RPR007"]
+
+    def test_flag_anchors_on_except_line(self):
+        src = "try:\n    work()\nexcept OSError:\n    pass\n"
+        out = lint_source(src, path="repro/core/example.py",
+                          declared_counters=DECLARED)
+        assert [(v.code, v.line) for v in out] == [("RPR007", 3)]
+
+    def test_reraise_clean(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except OSError as exc:\n"
+            "    raise RuntimeError('x') from exc\n"
+        )
+        assert codes(src) == []
+
+    def test_logging_call_clean(self):
+        src = "try:\n    work()\nexcept OSError:\n    log.warning('x')\n"
+        assert codes(src) == []
+
+    def test_counter_update_clean(self):
+        src = "try:\n    work()\nexcept OSError:\n    misses += 1\n"
+        assert codes(src) == []
+
+    def test_fallback_assignment_clean(self):
+        src = "try:\n    v = parse()\nexcept ValueError:\n    v = None\n"
+        assert codes(src) == []
+
+    def test_conditional_handling_clean(self):
+        # A branch means the handler inspects the situation; RPR007
+        # only targets bodies that cannot possibly have acted.
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except OSError:\n"
+            "    if strict:\n"
+            "        raise\n"
+        )
+        assert codes(src) == []
+
+    def test_noqa_escape_on_except_line(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except OSError:  # repro: noqa[RPR007] — expected miss\n"
+            "    pass\n"
+        )
+        assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
 # noqa suppression + parse errors
 # ----------------------------------------------------------------------
 class TestSuppression:
