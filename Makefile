@@ -4,7 +4,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test lint sanitize-smoke bench-sanitizer figures figures-parallel \
-	cache-clear cache-verify chaos-smoke ci
+	cache-clear cache-verify chaos-smoke profile perf-bench perf-gate ci
 
 test:
 	python -m pytest -x -q
@@ -38,6 +38,20 @@ cache-verify:
 chaos-smoke:
 	REPRO_CHAOS="kill=0.3,hang=0.05,corrupt=0.5,delay=0.2,dup=0.2,seed=7" \
 		python -m repro.exec chaos-smoke
+
+# cProfile hotspots + per-stage wall-clock breakdown of the cycle loop
+# (docs/performance.md).
+profile:
+	python -m repro.perf profile
+
+perf-bench:
+	python -m repro.perf bench
+
+# Fail when simulator throughput regresses >15% against the committed
+# BENCH_sim_speed.json baseline. Refresh deliberately with:
+#   python -m repro.perf bench --update-baseline
+perf-gate:
+	python -m repro.perf gate
 
 sanitize-smoke:
 	python -m repro.experiments.cli mix parser vortex \

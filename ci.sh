@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, lint (ruff + the custom repro.analysis pass),
 # a short fully-sanitized end-to-end simulation, a 2-worker sweep smoke
-# that asserts the result cache serves a warm rerun in full, and a
-# chaos smoke that asserts a fault-injected sweep (worker kills/hangs,
-# cache corruption) still matches the fault-free golden run.
+# that asserts the result cache serves a warm rerun in full, a chaos
+# smoke that asserts a fault-injected sweep (worker kills/hangs, cache
+# corruption) still matches the fault-free golden run, and a perf gate
+# that fails on a >15% cycles/s regression vs BENCH_sim_speed.json.
 set -euo pipefail
 cd "$(dirname "$0")"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -75,5 +76,11 @@ echo "== chaos smoke (worker kills + hangs + cache corruption) =="
 # byte-identical to the fault-free golden run (docs/robustness.md).
 REPRO_CHAOS="kill=0.3,hang=0.05,corrupt=0.5,delay=0.2,dup=0.2,seed=7" \
     python -m repro.exec chaos-smoke
+
+echo "== perf gate (cycles/s vs BENCH_sim_speed.json) =="
+# Fails on a >15% throughput regression against the committed baseline
+# (docs/performance.md). Refresh deliberately with:
+#   python -m repro.perf bench --update-baseline
+python -m repro.perf gate
 
 echo "CI OK"

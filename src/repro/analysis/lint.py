@@ -33,6 +33,12 @@ RPR007    no silently-swallowed exceptions — an ``except`` body that
           faults the chaos suite is designed to surface; the few
           deliberate swallows (absent cache entry, heartbeat pipe
           closed by a dead parent) carry a noqa explaining why
+RPR008    no list/dict/set allocation in a function marked
+          ``# repro: hot`` — those run every simulated cycle, where
+          CPython allocation and call overhead dominate throughput
+          (docs/performance.md); the deliberate ones (rare-path or
+          amortised buffers, event-bucket creation) carry a noqa
+          explaining why
 ========  ==============================================================
 
 A violation on line ``L`` is suppressed by a trailing
@@ -68,6 +74,7 @@ LINT_RULES: dict[str, str] = {
     "RPR005": "floating-point accumulation into a cycle/ipc counter",
     "RPR006": "direct simulator call in benchmarks/ bypassing repro.exec",
     "RPR007": "except block silently swallows the exception",
+    "RPR008": "container allocation in a `# repro: hot` function",
 }
 
 #: Files (path suffixes) allowed to call numpy's RNG machinery directly.
@@ -103,7 +110,14 @@ _MUTABLE_CTORS = frozenset({
 #: Counter names RPR005 protects (exact token match within the name).
 _CYCLE_COUNTER_RE = re.compile(r"(?:^|_)(?:cycles?|ipc)(?:_|$)")
 
+#: Constructor calls RPR008 flags inside hot functions (the mutable
+#: containers plus ``sorted``, which materialises a fresh list).
+_HOT_ALLOC_CALLS = _MUTABLE_CTORS | {"sorted"}
+
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Marker declaring a function per-cycle hot (RPR008 scope).
+_HOT_RE = re.compile(r"#\s*repro:\s*hot\b")
 
 
 @dataclass(frozen=True)
@@ -136,6 +150,15 @@ def _dotted(node: ast.AST) -> str | None:
         return None
     parts.append(node.id)
     return ".".join(reversed(parts))
+
+
+def _hot_lines(source: str) -> frozenset[int]:
+    """Line numbers carrying a ``# repro: hot`` marker."""
+    return frozenset(
+        lineno
+        for lineno, text in enumerate(source.splitlines(), start=1)
+        if _HOT_RE.search(text)
+    )
 
 
 def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
@@ -278,9 +301,11 @@ class _FileLinter(ast.NodeVisitor):
     """Collects violations of RPR001-RPR005 for one parsed module."""
 
     def __init__(self, rel_path: str,
-                 declared_counters: frozenset[str] | None) -> None:
+                 declared_counters: frozenset[str] | None,
+                 hot_lines: frozenset[int] = frozenset()) -> None:
         self.rel_path = rel_path
         self.declared_counters = declared_counters
+        self.hot_lines = hot_lines
         self.violations: list[Violation] = []
         norm = rel_path.replace("\\", "/")
         self._rng_exempt = norm.endswith(_RNG_EXEMPT)
@@ -371,11 +396,62 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_hot_allocations(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_hot_allocations(node)
         self.generic_visit(node)
+
+    # -- RPR008: per-cycle allocations in hot functions ------------------
+    def _is_hot(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """Whether any signature line of ``node`` carries the marker.
+
+        The marker trails the ``def`` line or, for wrapped signatures,
+        the closing line of the argument list — both sit strictly
+        before the first body statement.
+        """
+        if not self.hot_lines:
+            return False
+        sig_end = node.body[0].lineno if node.body else node.lineno + 1
+        sig_end = max(sig_end, node.lineno + 1)
+        return any(
+            line in self.hot_lines
+            for line in range(node.lineno, sig_end)
+        )
+
+    def _check_hot_allocations(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        if not self._is_hot(node):
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                kind = None
+                if isinstance(sub, ast.List):
+                    kind = "list display"
+                elif isinstance(sub, ast.Dict):
+                    kind = "dict display"
+                elif isinstance(sub, ast.Set):
+                    kind = "set display"
+                elif isinstance(sub, (ast.ListComp, ast.SetComp,
+                                      ast.DictComp)):
+                    kind = "comprehension"
+                elif isinstance(sub, ast.GeneratorExp):
+                    kind = "generator expression"
+                elif isinstance(sub, ast.Call):
+                    ctor = _dotted(sub.func)
+                    if ctor in _HOT_ALLOC_CALLS:
+                        kind = f"{ctor}() call"
+                if kind is not None:
+                    self._flag(
+                        sub, "RPR008",
+                        f"{kind} in hot function {node.name}() allocates "
+                        "every simulated cycle; hoist it off the per-cycle "
+                        "path, or mark a deliberate rare-path/amortised "
+                        "allocation with '# repro: noqa[RPR008] — why'",
+                    )
 
     # -- RPR003/004/005: assignments ------------------------------------
     def _check_assign_target(self, node: ast.AST, target: ast.AST,
@@ -454,7 +530,7 @@ def lint_source(source: str, path: str = "<string>",
             path=path, line=exc.lineno or 1, col=exc.offset or 0,
             code="RPR000", message=f"syntax error: {exc.msg}",
         )]
-    linter = _FileLinter(path, declared_counters)
+    linter = _FileLinter(path, declared_counters, _hot_lines(source))
     linter.visit(tree)
     noqa = _noqa_map(source)
     out = []

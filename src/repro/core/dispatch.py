@@ -51,13 +51,18 @@ class InOrderDispatch(DispatchPolicy):
     dispatch only stops on IQ-full, width exhaustion, or an empty buffer.
     """
 
-    def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:
+    def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:  # repro: hot
         iq = core.iq
         buf = ts.dispatch_buffer
-        n = 0
-        while buf and n < budget and iq.occupancy < iq.capacity:
-            instr = buf[0]
-            del buf[0]
-            iq.insert(instr, cycle)
-            n += 1
+        # Each insert raises occupancy by exactly one, so the admissible
+        # count can be precomputed and the buffer drained in one slice.
+        n = iq.capacity - iq.occupancy
+        if budget < n:
+            n = budget
+        if len(buf) < n:
+            n = len(buf)
+        if n <= 0:
+            return 0
+        iq.insert_slice(buf, n, cycle)
+        del buf[:n]
         return n

@@ -74,8 +74,22 @@ class IssueQueue:
             out.append(s2)
         return out
 
+    def nonready_count(self, instr: DynInstr) -> int:  # repro: hot
+        """``len(nonready_sources(instr))`` without building the list.
+
+        The dispatch policies and the HDI sampler only need the count;
+        they call this once (or more) per buffered instruction per cycle,
+        so the allocation-free form matters.
+        """
+        bits = self._ready_bits
+        s1, s2 = instr.src1_p, instr.src2_p
+        n = 1 if s1 >= 0 and not bits[s1] else 0
+        if s2 >= 0 and s2 != s1 and not bits[s2]:
+            n += 1
+        return n
+
     # ------------------------------------------------------------------
-    def insert(self, instr: DynInstr, cycle: int) -> None:
+    def insert(self, instr: DynInstr, cycle: int) -> None:  # repro: hot
         """Dispatch ``instr`` into the queue.
 
         The caller must have verified :attr:`free_slots` and — for
@@ -83,24 +97,82 @@ class IssueQueue:
         """
         if self.occupancy >= self.capacity:
             raise RuntimeError("issue queue overflow (dispatch policy bug)")
-        pending = self.nonready_sources(instr)
-        if len(pending) > self.comparators_per_entry:
+        # Inlined nonready_sources: runs once per dispatched instruction,
+        # so the pending tags are tested without building a list.
+        bits = self._ready_bits
+        s1, s2 = instr.src1_p, instr.src2_p
+        wait1 = s1 >= 0 and not bits[s1]
+        wait2 = s2 >= 0 and s2 != s1 and not bits[s2]
+        count = wait1 + wait2
+        if count > self.comparators_per_entry:
             raise RuntimeError(
-                f"instruction needs {len(pending)} comparators but entries "
+                f"instruction needs {count} comparators but entries "
                 f"have {self.comparators_per_entry} (dispatch policy bug)"
             )
         instr.in_iq = True
         instr.dispatch_cycle = cycle
-        instr.num_waiting = len(pending)
-        for tag in pending:
-            waiters = self.waiting.get(tag)
-            if waiters is None:
-                self.waiting[tag] = [instr]
-            else:
-                waiters.append(instr)
-        if not pending:
+        instr.num_waiting = count
+        if count:
+            waiting = self.waiting
+            if wait1:
+                waiters = waiting.get(s1)
+                if waiters is None:
+                    waiting[s1] = [instr]  # repro: noqa[RPR008] — waiter-bucket birth
+                else:
+                    waiters.append(instr)
+            if wait2:
+                waiters = waiting.get(s2)
+                if waiters is None:
+                    waiting[s2] = [instr]  # repro: noqa[RPR008] — waiter-bucket birth
+                else:
+                    waiters.append(instr)
+        else:
             heappush(self.ready_heap, (instr.seq, instr))
         self.occupancy += 1
+
+    def insert_slice(self, buf, count: int, cycle: int) -> None:  # repro: hot
+        """Insert ``buf[:count]`` in one call (bulk form of :meth:`insert`).
+
+        The caller's dispatch policy has already admission-checked the
+        slice; readiness is still re-derived here because it decides
+        which wakeup lists each entry joins.
+        """
+        if self.occupancy + count > self.capacity:
+            raise RuntimeError("issue queue overflow (dispatch policy bug)")
+        bits = self._ready_bits
+        waiting = self.waiting
+        heap = self.ready_heap
+        budget = self.comparators_per_entry
+        for i in range(count):
+            instr = buf[i]
+            s1, s2 = instr.src1_p, instr.src2_p
+            wait1 = s1 >= 0 and not bits[s1]
+            wait2 = s2 >= 0 and s2 != s1 and not bits[s2]
+            pending = wait1 + wait2
+            if pending > budget:
+                raise RuntimeError(
+                    f"instruction needs {pending} comparators but entries "
+                    f"have {budget} (dispatch policy bug)"
+                )
+            instr.in_iq = True
+            instr.dispatch_cycle = cycle
+            instr.num_waiting = pending
+            if pending:
+                if wait1:
+                    waiters = waiting.get(s1)
+                    if waiters is None:
+                        waiting[s1] = [instr]  # repro: noqa[RPR008] — bucket birth
+                    else:
+                        waiters.append(instr)
+                if wait2:
+                    waiters = waiting.get(s2)
+                    if waiters is None:
+                        waiting[s2] = [instr]  # repro: noqa[RPR008] — bucket birth
+                    else:
+                        waiters.append(instr)
+            else:
+                heappush(heap, (instr.seq, instr))
+        self.occupancy += count
 
     def wakeup(self, tag: int) -> None:
         """Broadcast the completion of physical register ``tag``."""

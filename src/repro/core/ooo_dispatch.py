@@ -37,21 +37,25 @@ class OutOfOrderDispatch(DispatchPolicy):
         stats = core.stats
         n = 0
         ndis_seen = 0
-        tainted: set[int] = set()  # dests transitively fed by a prior NDI
+        # Dests transitively fed by a prior NDI; allocated lazily — most
+        # dispatch scans see no NDI at all.
+        tainted: set[int] | None = None
         dispatched: list[int] | None = None
         hit_resource_limit = False
         for i, instr in enumerate(buf):
             if n >= budget or iq.occupancy >= iq.capacity:
                 hit_resource_limit = True
                 break
-            pending = iq.nonready_sources(instr)
-            if len(pending) >= 2:
+            if iq.nonready_count(instr) >= 2:
                 ndis_seen += 1
                 instr.was_ndi_blocked = True
                 if instr.dest_p >= 0:
-                    tainted.add(instr.dest_p)
+                    if tainted is None:
+                        tainted = {instr.dest_p}
+                    else:
+                        tainted.add(instr.dest_p)
                 continue
-            ndi_dep = bool(tainted) and (
+            ndi_dep = tainted is not None and (
                 instr.src1_p in tainted or instr.src2_p in tainted
             )
             if self.filtered and ndi_dep:
@@ -93,7 +97,7 @@ class OutOfOrderDispatch(DispatchPolicy):
         if self.filtered:
             tainted: set[int] = set()
             for instr in buf:
-                if len(iq.nonready_sources(instr)) >= 2:
+                if iq.nonready_count(instr) >= 2:
                     if instr.dest_p >= 0:
                         tainted.add(instr.dest_p)
                     continue
@@ -104,6 +108,6 @@ class OutOfOrderDispatch(DispatchPolicy):
                 return False
             return True
         for instr in buf:
-            if len(iq.nonready_sources(instr)) < 2:
+            if iq.nonready_count(instr) < 2:
                 return False
         return True

@@ -20,23 +20,36 @@ class TwoOpBlockDispatch(DispatchPolicy):
     needs_reduced_iq = True
     max_nonready_sources = 1
 
-    def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:
+    def dispatch_thread(self, core, ts, cycle: int, budget: int) -> int:  # repro: hot
         iq = core.iq
         buf = ts.dispatch_buffer
+        limit = iq.capacity - iq.occupancy
+        if budget < limit:
+            limit = budget
+        if len(buf) < limit:
+            limit = len(buf)
+        if limit <= 0:
+            return 0
+        # Find the admissible prefix (stops at the first NDI: two
+        # distinct non-ready sources), then insert it in one call.
+        bits = iq._ready_bits
         n = 0
-        while buf and n < budget and iq.occupancy < iq.capacity:
-            instr = buf[0]
-            if len(iq.nonready_sources(instr)) >= 2:
+        while n < limit:
+            instr = buf[n]
+            s1, s2 = instr.src1_p, instr.src2_p
+            if (s1 >= 0 and not bits[s1]
+                    and s2 >= 0 and s2 != s1 and not bits[s2]):
                 instr.was_ndi_blocked = True
                 ts.blocked_2op = True
                 break
-            del buf[0]
-            iq.insert(instr, cycle)
             n += 1
+        if n:
+            iq.insert_slice(buf, n, cycle)
+            del buf[:n]
         return n
 
-    def scan_blocked(self, core, ts) -> bool:
+    def scan_blocked(self, core, ts) -> bool:  # repro: hot
         buf = ts.dispatch_buffer
         if not buf:
             return False
-        return len(core.iq.nonready_sources(buf[0])) >= 2
+        return core.iq.nonready_count(buf[0]) >= 2

@@ -65,6 +65,20 @@ FU_ASSIGNMENT: dict[OpClass, tuple[FUClass, int, int]] = {
     OpClass.NOP: (FUClass.INT_ALU, 1, 1),
 }
 
+#: Flat int-indexed views of :data:`FU_ASSIGNMENT` for the issue/execute
+#: hot path. ``DynInstr.op`` is stored as a plain ``int``; indexing these
+#: tuples avoids re-entering the ``OpClass`` enum constructor (a Python
+#: function call) for every issued instruction.
+OP_FU: tuple[int, ...] = tuple(
+    int(FU_ASSIGNMENT[OpClass(op)][0]) for op in range(len(OpClass))
+)
+OP_LATENCY: tuple[int, ...] = tuple(
+    FU_ASSIGNMENT[OpClass(op)][1] for op in range(len(OpClass))
+)
+OP_INTERVAL: tuple[int, ...] = tuple(
+    FU_ASSIGNMENT[OpClass(op)][2] for op in range(len(OpClass))
+)
+
 #: Ops that write a floating-point destination register.
 FP_PRODUCERS = frozenset(
     {OpClass.FPADD, OpClass.FPMUL, OpClass.FPDIV, OpClass.FPSQRT}

@@ -23,6 +23,8 @@ class SetAssociativeCache:
         "_sets",
         "_line_bits",
         "_set_mask",
+        "_tag_shift",
+        "_assoc",
         "accesses",
         "misses",
     )
@@ -32,36 +34,60 @@ class SetAssociativeCache:
         self._sets: list[list[int]] = [[] for _ in range(cfg.num_sets)]
         self._line_bits = cfg.line_bytes.bit_length() - 1
         self._set_mask = cfg.num_sets - 1
+        self._tag_shift = self._set_mask.bit_length()
+        self._assoc = cfg.assoc
         self.accesses = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
-    def access(self, addr: int) -> bool:
+    def access(self, addr: int) -> bool:  # repro: hot
         """Access the line containing ``addr``; returns True on hit.
 
         Misses allocate the line (evicting true-LRU if the set is full).
+        The miss path uses a membership test rather than ``index`` inside
+        ``try/except`` — exception raising costs roughly a microsecond
+        and misses dominate residency installation and cold regions.
         """
         self.accesses += 1
         block = addr >> self._line_bits
         ways = self._sets[block & self._set_mask]
-        tag = block >> self._set_mask.bit_length() if self._set_mask else block
-        try:
+        tag = block >> self._tag_shift
+        if tag in ways:
+            if ways[0] != tag:
+                ways.insert(0, ways.pop(ways.index(tag)))
+            return True
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self._assoc:
+            ways.pop()
+        return False
+
+    def fill(self, addr: int) -> bool:  # repro: hot
+        """:meth:`access` minus the statistics counters.
+
+        Bulk warm-up path: the tag store evolves exactly as under
+        :meth:`access` (same LRU updates, same allocations) but the
+        access/miss counters stay untouched. Used for residency
+        installation, where counters are reset afterwards anyway.
+        """
+        block = addr >> self._line_bits
+        ways = self._sets[block & self._set_mask]
+        tag = block >> self._tag_shift
+        if tag in ways:
             i = ways.index(tag)
-        except ValueError:
-            self.misses += 1
-            ways.insert(0, tag)
-            if len(ways) > self.cfg.assoc:
-                ways.pop()
-            return False
-        if i:
-            ways.insert(0, ways.pop(i))
-        return True
+            if i:
+                ways.insert(0, ways.pop(i))
+            return True
+        ways.insert(0, tag)
+        if len(ways) > self._assoc:
+            ways.pop()
+        return False
 
     def probe(self, addr: int) -> bool:
         """Check residency without updating LRU or allocating."""
         block = addr >> self._line_bits
         ways = self._sets[block & self._set_mask]
-        tag = block >> self._set_mask.bit_length() if self._set_mask else block
+        tag = block >> self._tag_shift
         return tag in ways
 
     def flush(self) -> None:

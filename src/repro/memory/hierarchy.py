@@ -37,30 +37,81 @@ class AccessResult:
 class MemoryHierarchy:
     """L1I + L1D + unified L2 + main memory."""
 
-    __slots__ = ("cfg", "l1i", "l1d", "l2")
+    __slots__ = ("cfg", "l1i", "l1d", "l2", "_res_hit", "_res_l2", "_res_mem")
 
     def __init__(self, cfg: MemoryConfig) -> None:
         self.cfg = cfg
         self.l1i = SetAssociativeCache(cfg.l1i)
         self.l1d = SetAssociativeCache(cfg.l1d)
         self.l2 = SetAssociativeCache(cfg.l2)
+        # An access outcome is fully determined by the level that hit and
+        # the (fixed) config latencies, so the three possible results are
+        # shared frozen instances instead of a fresh allocation per call.
+        self._res_hit = AccessResult(True, True, 0)
+        self._res_l2 = AccessResult(False, True, cfg.l2.hit_latency)
+        self._res_mem = AccessResult(False, False, cfg.memory_latency)
 
     # ------------------------------------------------------------------
-    def access_data(self, addr: int) -> AccessResult:
-        """Data-side access (loads at execute, stores at commit)."""
-        if self.l1d.access(addr):
-            return AccessResult(True, True, 0)
-        if self.l2.access(addr):
-            return AccessResult(False, True, self.cfg.l2.hit_latency)
-        return AccessResult(False, False, self.cfg.memory_latency)
+    def access_data(self, addr: int) -> AccessResult:  # repro: hot
+        """Data-side access (loads at execute, stores at commit).
 
-    def access_inst(self, pc: int) -> AccessResult:
-        """Instruction-side access (fetch)."""
-        if self.l1i.access(pc):
-            return AccessResult(True, True, 0)
+        The L1 lookup is ``SetAssociativeCache.access`` inlined — the L1
+        hit path is the overwhelmingly common case and pays for no
+        second call.
+        """
+        l1 = self.l1d
+        l1.accesses += 1
+        block = addr >> l1._line_bits
+        ways = l1._sets[block & l1._set_mask]
+        tag = block >> l1._tag_shift
+        if tag in ways:
+            if ways[0] != tag:
+                ways.insert(0, ways.pop(ways.index(tag)))
+            return self._res_hit
+        l1.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > l1._assoc:
+            ways.pop()
+        if self.l2.access(addr):
+            return self._res_l2
+        return self._res_mem
+
+    def access_inst(self, pc: int) -> AccessResult:  # repro: hot
+        """Instruction-side access (fetch); L1I lookup inlined as above."""
+        l1 = self.l1i
+        l1.accesses += 1
+        block = pc >> l1._line_bits
+        ways = l1._sets[block & l1._set_mask]
+        tag = block >> l1._tag_shift
+        if tag in ways:
+            if ways[0] != tag:
+                ways.insert(0, ways.pop(ways.index(tag)))
+            return self._res_hit
+        l1.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > l1._assoc:
+            ways.pop()
         if self.l2.access(pc):
-            return AccessResult(False, True, self.cfg.l2.hit_latency)
-        return AccessResult(False, False, self.cfg.memory_latency)
+            return self._res_l2
+        return self._res_mem
+
+    def warm_data(self, addrs) -> None:
+        """Install data lines (L1D, then L2 on an L1D miss) without
+        touching the access counters; tag-store state afterwards is
+        identical to calling :meth:`access_data` per address."""
+        l1_fill = self.l1d.fill
+        l2_fill = self.l2.fill
+        for addr in addrs:
+            if not l1_fill(addr):
+                l2_fill(addr)
+
+    def warm_inst(self, pcs) -> None:
+        """Instruction-side counterpart of :meth:`warm_data`."""
+        l1_fill = self.l1i.fill
+        l2_fill = self.l2.fill
+        for pc in pcs:
+            if not l1_fill(pc):
+                l2_fill(pc)
 
     def flush(self) -> None:
         """Invalidate all levels."""

@@ -1,0 +1,64 @@
+"""Throughput measurement, profiling, and the CI perf gate.
+
+The pure-Python cycle loop bounds every experiment in this
+reproduction, so its speed is a tracked artefact: ``run_bench``
+measures it the same way ``benchmarks/bench_sim_speed.py`` does,
+``BENCH_sim_speed.json`` at the repository root records the blessed
+number, and ``gate_check`` fails CI on a >15 % regression against it
+(see docs/performance.md).
+
+CLI::
+
+    python -m repro.perf bench                    # measure cycles/s
+    python -m repro.perf bench --update-baseline  # bless a new number
+    python -m repro.perf profile                  # cProfile + stage timers
+    python -m repro.perf gate                     # compare vs baseline
+"""
+
+from repro.perf.bench import (
+    DEFAULT_INSNS,
+    DEFAULT_MIX,
+    DEFAULT_REPS,
+    DEFAULT_WARMUP,
+    GATE_THRESHOLD,
+    BenchResult,
+    GateReport,
+    decode_bench_result,
+    default_baseline_path,
+    dumps_baseline,
+    encode_bench_result,
+    gate_check,
+    load_baseline,
+    run_bench,
+    write_baseline,
+)
+from repro.perf.profile import (
+    STAGE_NAMES,
+    Hotspot,
+    ProfileReport,
+    install_stage_timers,
+    profile_run,
+)
+
+__all__ = [
+    "DEFAULT_INSNS",
+    "DEFAULT_MIX",
+    "DEFAULT_REPS",
+    "DEFAULT_WARMUP",
+    "GATE_THRESHOLD",
+    "STAGE_NAMES",
+    "BenchResult",
+    "GateReport",
+    "Hotspot",
+    "ProfileReport",
+    "decode_bench_result",
+    "default_baseline_path",
+    "dumps_baseline",
+    "encode_bench_result",
+    "gate_check",
+    "install_stage_timers",
+    "load_baseline",
+    "profile_run",
+    "run_bench",
+    "write_baseline",
+]

@@ -1,0 +1,182 @@
+"""``python -m repro.perf`` — simulator throughput tooling.
+
+Usage::
+
+    python -m repro.perf bench                    # best-of-5 cycles/s
+    python -m repro.perf bench --json
+    python -m repro.perf bench --update-baseline  # rewrite BENCH_sim_speed.json
+
+    python -m repro.perf profile                  # cProfile + stage timers
+    python -m repro.perf profile --top 25 --json
+
+    python -m repro.perf gate                     # exit 1 on >15% regression
+    python -m repro.perf gate --baseline X --threshold 0.85
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.perf.bench import (
+    DEFAULT_INSNS,
+    DEFAULT_MIX,
+    DEFAULT_REPS,
+    DEFAULT_WARMUP,
+    GATE_THRESHOLD,
+    default_baseline_path,
+    dumps_baseline,
+    encode_bench_result,
+    gate_check,
+    load_baseline,
+    run_bench,
+    write_baseline,
+)
+from repro.perf.profile import profile_run
+
+
+def _add_sim_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mix", nargs="+", default=list(DEFAULT_MIX),
+                   metavar="BENCH", help="benchmark mix (one per thread)")
+    p.add_argument("--scheduler", default="traditional",
+                   help="dispatch scheduler (default: traditional)")
+    p.add_argument("--insns", type=int, default=DEFAULT_INSNS,
+                   help="instructions per thread to simulate")
+    p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
+                   help="functional warmup instructions per thread")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    result = run_bench(
+        benchmarks=tuple(args.mix), scheduler=args.scheduler,
+        max_insns=args.insns, warmup=args.warmup, reps=args.reps,
+    )
+    if args.update_baseline:
+        path = (Path(args.baseline) if args.baseline is not None
+                else default_baseline_path())
+        write_baseline(path, result)
+        print(f"baseline written: {path} "
+              f"({result.cycles_per_s:,.0f} cycles/s)")
+        return 0
+    if args.as_json:
+        print(dumps_baseline(result), end="")
+        return 0
+    print(f"mix:       {'+'.join(result.benchmarks)} "
+          f"({result.scheduler}, {result.max_insns} insns/thread)")
+    print(f"cycles:    {result.cycles}")
+    print(f"best rep:  {result.best_elapsed_s * 1e3:.1f} ms "
+          f"(of {result.reps})")
+    print(f"cycles/s:  {result.cycles_per_s:,.0f}")
+    print(f"insns/s:   {result.insns_per_s:,.0f}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    report = profile_run(
+        benchmarks=tuple(args.mix), scheduler=args.scheduler,
+        max_insns=args.insns, warmup=args.warmup, top=args.top,
+    )
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    print(f"{report.cycles} cycles in {report.elapsed_s * 1e3:.1f} ms "
+          f"({report.cycles_per_s:,.0f} cycles/s)")
+    print("\nper-stage wall clock (stepped cycles only):")
+    total = sum(report.stage_seconds.values())
+    for name, secs in sorted(report.stage_seconds.items(),
+                             key=lambda kv: kv[1], reverse=True):
+        share = secs / total * 100 if total > 0 else 0.0
+        print(f"  {name:<14} {secs * 1e3:8.2f} ms  {share:5.1f}%")
+    print("\ncProfile hotspots (tottime):")
+    print(report.stats_text)
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    path = (Path(args.baseline) if args.baseline is not None
+            else default_baseline_path())
+    if not path.exists():
+        print(f"error: no baseline {path} "
+              "(run: python -m repro.perf bench --update-baseline)",
+              file=sys.stderr)
+        return 2
+    baseline = load_baseline(path)
+    # A shared CI host can dip below the threshold band for a whole
+    # measurement window; re-measure before failing (a real regression
+    # is slow in every window, transient contention is not).
+    best = None
+    for attempt in range(max(args.retries, 0) + 1):
+        measured = run_bench(
+            benchmarks=baseline.benchmarks, scheduler=baseline.scheduler,
+            max_insns=baseline.max_insns, warmup=baseline.warmup,
+            reps=args.reps,
+        )
+        if best is None or measured.cycles_per_s > best.cycles_per_s:
+            best = measured
+        report = gate_check(best.cycles_per_s, baseline.cycles_per_s,
+                            threshold=args.threshold)
+        if report.passed:
+            break
+        if attempt < args.retries:
+            print(f"below threshold (ratio {report.ratio:.3f}); "
+                  "re-measuring once to rule out host contention",
+                  file=sys.stderr)
+    measured = best
+    if args.as_json:
+        print(json.dumps({
+            "measured": encode_bench_result(measured),
+            "baseline": encode_bench_result(baseline),
+            "ratio": round(report.ratio, 4),
+            "threshold": report.threshold,
+            "passed": report.passed,
+        }, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="simulator throughput tooling (see docs/performance.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bench", help="measure cycles/s (best of N reps)")
+    _add_sim_args(p)
+    p.add_argument("--reps", type=int, default=DEFAULT_REPS)
+    p.add_argument("--json", action="store_true", dest="as_json")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write the measurement to the baseline file")
+    p.add_argument("--baseline", default=None,
+                   help="baseline path (default: repo BENCH_sim_speed.json)")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("profile",
+                       help="cProfile + per-stage wall-clock breakdown")
+    _add_sim_args(p)
+    p.add_argument("--top", type=int, default=15,
+                   help="hotspot rows to report")
+    p.add_argument("--json", action="store_true", dest="as_json")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("gate",
+                       help="fail when cycles/s regresses vs the baseline")
+    p.add_argument("--baseline", default=None,
+                   help="baseline path (default: repo BENCH_sim_speed.json)")
+    p.add_argument("--threshold", type=float, default=GATE_THRESHOLD,
+                   help="minimum measured/baseline ratio (default 0.85)")
+    p.add_argument("--reps", type=int, default=DEFAULT_REPS)
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-measurements before failing (default 1)")
+    p.add_argument("--json", action="store_true", dest="as_json")
+    p.set_defaults(func=_cmd_gate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

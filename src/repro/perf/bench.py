@@ -1,0 +1,208 @@
+"""Simulator throughput measurement and the CI regression gate.
+
+``run_bench`` times the same configuration as
+``benchmarks/bench_sim_speed.py`` (the 2-thread parser+vortex mix on
+the paper machine) and reports the best-of-N cycles/s. The blessed
+number lives in ``BENCH_sim_speed.json`` at the repository root;
+``gate_check`` compares a fresh measurement against it and fails CI
+when throughput drops below :data:`GATE_THRESHOLD` of the baseline
+(i.e. regresses by more than 15 %).
+
+The baseline file is written through :func:`encode_bench_result`,
+which normalises every number (``int()``/``float()`` coercion plus
+fixed rounding for the measured floats) so that encoding a fresh
+result and re-encoding a decoded one are byte-identical and the
+committed JSON diffs stably across platforms — the same contract as
+``repro.exec.cache.encode_job_result``.
+
+Refresh the baseline after deliberate performance work::
+
+    python -m repro.perf bench --update-baseline
+"""
+
+from __future__ import annotations
+
+import json
+import time  # repro: noqa[RPR001] — the perf harness measures wall clock
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config.presets import paper_machine
+from repro.experiments.runner import thread_traces
+from repro.pipeline.smt_core import SMTProcessor
+
+#: Bench configuration, mirroring benchmarks/bench_sim_speed.py.
+DEFAULT_MIX: tuple[str, ...] = ("parser", "vortex")
+DEFAULT_INSNS = 4000
+DEFAULT_WARMUP = 4000
+DEFAULT_REPS = 5
+
+#: CI fails when measured/baseline cycles/s falls below this ratio.
+GATE_THRESHOLD = 0.85
+
+#: Decimal places kept for measured floats in the baseline file.
+_ROUND_SECONDS = 6
+_ROUND_RATES = 1
+
+
+def default_baseline_path() -> Path:
+    """``BENCH_sim_speed.json`` at the repository root (three levels
+    above this package in a source checkout)."""
+    return Path(__file__).resolve().parents[3] / "BENCH_sim_speed.json"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One throughput measurement (best rep of ``reps``)."""
+
+    benchmarks: tuple[str, ...]
+    scheduler: str
+    max_insns: int
+    warmup: int
+    reps: int
+    cycles: int
+    committed: int
+    best_elapsed_s: float
+    cycles_per_s: float
+    insns_per_s: float
+
+
+def run_bench(
+    benchmarks: tuple[str, ...] = DEFAULT_MIX,
+    scheduler: str = "traditional",
+    max_insns: int = DEFAULT_INSNS,
+    warmup: int = DEFAULT_WARMUP,
+    reps: int = DEFAULT_REPS,
+    fast_forward: bool = True,
+) -> BenchResult:
+    """Time ``reps`` fresh simulations; returns the best (fastest) rep.
+
+    Only :meth:`SMTProcessor.run` is inside the timed region — trace
+    generation and the functional warmup replay are constant setup cost
+    shared by every experiment and would dilute the cycle-loop signal.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    cfg = paper_machine(scheduler=scheduler)
+    traces = thread_traces(list(benchmarks), max_insns, seed=0, warmup=warmup)
+    perf_counter = time.perf_counter
+    best = None
+    cycles = committed = 0
+    for _ in range(reps):
+        core = SMTProcessor(cfg, traces, warmup=warmup,
+                            fast_forward=fast_forward)
+        t0 = perf_counter()  # repro: noqa[RPR001] — timing the simulator
+        stats = core.run(max_insns)
+        dt = perf_counter() - t0  # repro: noqa[RPR001] — timing the simulator
+        if best is None or dt < best:
+            best = dt
+            cycles = stats.cycles
+            committed = stats.committed_total
+    assert best is not None and best > 0
+    return BenchResult(
+        benchmarks=tuple(benchmarks),
+        scheduler=scheduler,
+        max_insns=max_insns,
+        warmup=warmup,
+        reps=reps,
+        cycles=cycles,
+        committed=committed,
+        best_elapsed_s=best,
+        cycles_per_s=cycles / best,
+        insns_per_s=committed / best,
+    )
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation — the contract of repro.exec.cache.encode_job_result
+# ----------------------------------------------------------------------
+def encode_bench_result(result: BenchResult) -> dict[str, object]:
+    """Encode a :class:`BenchResult` as the JSON-safe baseline body.
+
+    Every field is coerced to its canonical type and the measured
+    floats are rounded to fixed precision, so ``encode(decode(encode(r)))
+    == encode(r)`` byte for byte and the committed baseline does not
+    churn on float-repr differences across platforms.
+    """
+    return {
+        "benchmarks": [str(b) for b in result.benchmarks],
+        "scheduler": str(result.scheduler),
+        "max_insns": int(result.max_insns),
+        "warmup": int(result.warmup),
+        "reps": int(result.reps),
+        "cycles": int(result.cycles),
+        "committed": int(result.committed),
+        "best_elapsed_s": round(float(result.best_elapsed_s), _ROUND_SECONDS),
+        "cycles_per_s": round(float(result.cycles_per_s), _ROUND_RATES),
+        "insns_per_s": round(float(result.insns_per_s), _ROUND_RATES),
+    }
+
+
+def decode_bench_result(body: dict[str, object]) -> BenchResult:
+    """Inverse of :func:`encode_bench_result`."""
+    return BenchResult(
+        benchmarks=tuple(str(b) for b in body["benchmarks"]),
+        scheduler=str(body["scheduler"]),
+        max_insns=int(body["max_insns"]),
+        warmup=int(body["warmup"]),
+        reps=int(body["reps"]),
+        cycles=int(body["cycles"]),
+        committed=int(body["committed"]),
+        best_elapsed_s=float(body["best_elapsed_s"]),
+        cycles_per_s=float(body["cycles_per_s"]),
+        insns_per_s=float(body["insns_per_s"]),
+    )
+
+
+def dumps_baseline(result: BenchResult) -> str:
+    """Canonical on-disk form of the baseline (sorted keys, newline)."""
+    return json.dumps(encode_bench_result(result), indent=2,
+                      sort_keys=True) + "\n"
+
+
+def write_baseline(path: Path, result: BenchResult) -> None:
+    path.write_text(dumps_baseline(result), encoding="utf-8")
+
+
+def load_baseline(path: Path) -> BenchResult:
+    return decode_bench_result(json.loads(path.read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# the CI gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GateReport:
+    """Outcome of one measurement-vs-baseline comparison."""
+
+    measured_cps: float
+    baseline_cps: float
+    ratio: float
+    threshold: float
+    passed: bool
+
+    def render(self) -> str:
+        verdict = "OK" if self.passed else "REGRESSION"
+        return (
+            f"perf gate {verdict}: {self.measured_cps:,.0f} cycles/s "
+            f"vs baseline {self.baseline_cps:,.0f} "
+            f"(ratio {self.ratio:.3f}, threshold {self.threshold:.2f})"
+        )
+
+
+def gate_check(measured_cps: float, baseline_cps: float,
+               threshold: float = GATE_THRESHOLD) -> GateReport:
+    """Pass iff ``measured/baseline >= threshold``.
+
+    A zero/absent baseline passes vacuously (ratio ``inf``) so a fresh
+    checkout without a blessed number never hard-fails CI.
+    """
+    ratio = (measured_cps / baseline_cps if baseline_cps > 0
+             else float("inf"))
+    return GateReport(
+        measured_cps=measured_cps,
+        baseline_cps=baseline_cps,
+        ratio=ratio,
+        threshold=threshold,
+        passed=ratio >= threshold,
+    )

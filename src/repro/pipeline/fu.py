@@ -4,12 +4,16 @@ Each unit records the next cycle at which it can accept an operation;
 multi-cycle-occupancy ops (divides, square roots) therefore block their
 unit for the ``issue interval`` of :data:`repro.isa.opcodes.FU_ASSIGNMENT`
 while pipelined ops accept one operation per cycle.
+
+``try_claim``/``available`` run once per selected instruction per cycle,
+so they use the flat :data:`repro.isa.opcodes.OP_FU`/``OP_INTERVAL``
+tables instead of the enum-keyed assignment dict.
 """
 
 from __future__ import annotations
 
 from repro.config.machine import MachineConfig
-from repro.isa.opcodes import FU_ASSIGNMENT, FUClass, OpClass
+from repro.isa.opcodes import OP_FU, OP_INTERVAL, FUClass
 
 
 class FunctionalUnitPool:
@@ -18,39 +22,43 @@ class FunctionalUnitPool:
     __slots__ = ("_units", "issued_per_class")
 
     def __init__(self, cfg: MachineConfig) -> None:
-        counts = {
-            FUClass.INT_ALU: cfg.fu_int_alu,
-            FUClass.INT_MULDIV: cfg.fu_int_muldiv,
-            FUClass.MEM_PORT: cfg.fu_mem_ports,
-            FUClass.FP_ADD: cfg.fu_fp_add,
-            FUClass.FP_MULDIV: cfg.fu_fp_muldiv,
-        }
-        #: per FU class: list of next-free cycle per unit.
-        self._units: dict[int, list[int]] = {
-            int(fu): [0] * n for fu, n in counts.items()
-        }
-        self.issued_per_class: dict[int, int] = {int(fu): 0 for fu in counts}
+        #: per FU class (list index == ``FUClass`` value): next-free
+        #: cycle of each unit in the pool.
+        self._units: list[list[int]] = [
+            [0] * cfg.fu_int_alu,       # FUClass.INT_ALU
+            [0] * cfg.fu_int_muldiv,    # FUClass.INT_MULDIV
+            [0] * cfg.fu_mem_ports,     # FUClass.MEM_PORT
+            [0] * cfg.fu_fp_add,        # FUClass.FP_ADD
+            [0] * cfg.fu_fp_muldiv,     # FUClass.FP_MULDIV
+        ]
+        assert len(self._units) == len(FUClass)
+        #: per FU class (list index == ``FUClass`` value): operations
+        #: issued so far.
+        self.issued_per_class: list[int] = [0] * len(FUClass)
 
     # ------------------------------------------------------------------
-    def try_claim(self, op: int, cycle: int) -> bool:
+    def try_claim(self, op: int, cycle: int) -> bool:  # repro: hot
         """Claim a unit for ``op`` at ``cycle``; False if all are busy."""
-        fu, _lat, interval = FU_ASSIGNMENT[OpClass(op)]
-        units = self._units[int(fu)]
-        for i, free_at in enumerate(units):
+        fu = OP_FU[op]
+        units = self._units[fu]
+        i = 0
+        for free_at in units:
             if free_at <= cycle:
-                units[i] = cycle + interval
-                self.issued_per_class[int(fu)] += 1
+                units[i] = cycle + OP_INTERVAL[op]
+                self.issued_per_class[fu] += 1
+                return True
+            i += 1
+        return False
+
+    def available(self, op: int, cycle: int) -> bool:  # repro: hot
+        """Whether a unit could accept ``op`` at ``cycle`` (no claim)."""
+        for free_at in self._units[OP_FU[op]]:
+            if free_at <= cycle:
                 return True
         return False
 
-    def available(self, op: int, cycle: int) -> bool:
-        """Whether a unit could accept ``op`` at ``cycle`` (no claim)."""
-        fu = FU_ASSIGNMENT[OpClass(op)][0]
-        units = self._units[int(fu)]
-        return any(free_at <= cycle for free_at in units)
-
     def reset(self) -> None:
         """Mark every unit idle (watchdog flush)."""
-        for units in self._units.values():
+        for units in self._units:
             for i in range(len(units)):
                 units[i] = 0

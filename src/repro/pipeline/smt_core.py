@@ -28,12 +28,15 @@ from repro.config.machine import MachineConfig
 from repro.core.deadlock import DeadlockAvoidanceBuffer, WatchdogTimer
 from repro.core.iq import IssueQueue
 from repro.core.scheduler import make_dispatch_policy
-from repro.isa.opcodes import FU_ASSIGNMENT, OpClass
+from repro.isa.opcodes import OP_FU, OP_INTERVAL, OP_LATENCY, OpClass
+from repro.isa.registers import FP_BASE, REG_FP_ZERO, REG_INT_ZERO
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.dynamic import DynInstr
+from repro.pipeline.fastforward import FastForward
 from repro.pipeline.fu import FunctionalUnitPool
 from repro.pipeline.stats import PipelineStats
 from repro.pipeline.thread import ThreadState
+from repro.rename.map_table import NO_PREG
 from repro.rename.renamer import RenameUnit
 from repro.trace.generator import Trace
 
@@ -55,7 +58,7 @@ class SMTProcessor:
     """Cycle-level SMT core executing one trace per hardware thread."""
 
     def __init__(self, cfg: MachineConfig, traces: list[Trace],
-                 warmup: int = 0) -> None:
+                 warmup: int = 0, fast_forward: bool = True) -> None:
         if not traces:
             raise ValueError("need at least one thread trace")
         if warmup < 0 or any(warmup >= len(t) for t in traces):
@@ -70,6 +73,11 @@ class SMTProcessor:
             cfg.iq_size, cfg.iq_comparators_per_entry, self.renamer.ready
         )
         self.policy = make_dispatch_policy(cfg)
+        # Exact-type test: subclasses of the traditional policy must not
+        # take the inlined dispatch fast path in ``_dispatch``.
+        from repro.core.dispatch import InOrderDispatch
+
+        self._policy_inorder = type(self.policy) is InOrderDispatch
         self.dab: DeadlockAvoidanceBuffer | None = None
         self.watchdog: WatchdogTimer | None = None
         if self.policy.supports_ooo:
@@ -82,10 +90,31 @@ class SMTProcessor:
         self.threads = [
             ThreadState(tid, trace, cfg) for tid, trace in enumerate(traces)
         ]
+        # All n cyclic rotations of the thread list, precomputed once;
+        # ``_rotation`` indexes by ``cycle % n`` instead of building a
+        # fresh list three times per cycle.
+        n = self.num_threads
+        threads = self.threads
+        self._rotations: tuple[tuple[ThreadState, ...], ...] = tuple(
+            tuple(threads[(start + i) % n] for i in range(n))
+            for start in range(n)
+        )
+        self._nrot = n
         self.stats = PipelineStats(num_threads=self.num_threads)
         from repro.frontend.fetch import FetchUnit
 
         self.fetch_unit = FetchUnit(cfg)
+        # Width/latency knobs are frozen at construction; the stage loops
+        # read these plain attributes instead of chasing cfg.* per cycle.
+        self._commit_width = cfg.commit_width
+        self._issue_width = cfg.issue_width
+        self._dispatch_width = cfg.dispatch_width
+        self._decode_width = cfg.decode_width
+        self._buf_depth = cfg.dispatch_buffer_depth
+        self._regread = cfg.regread_stages
+        self._mem_latency = cfg.mem.memory_latency
+        self._redirect_penalty = cfg.mispredict_redirect_penalty
+        self._dab_exclusive = cfg.dab_exclusive
         self.cycle = 0
         self._seq = 0
         #: cycle -> physical registers becoming ready (wakeup broadcast).
@@ -93,6 +122,12 @@ class SMTProcessor:
         #: cycle -> instructions finishing execution (completion).
         self._done_events: dict[int, list[DynInstr]] = {}
         self._last_commit_cycle = 0
+        self._events_fired = False
+        #: subclasses overriding ``new_instr`` (an observation hook used
+        #: by tests) force fetch onto the compat path that calls it.
+        self._custom_new_instr = (
+            type(self).new_instr is not SMTProcessor.new_instr
+        )
         self.sanitizer = None
         if cfg.sanitize:
             # Imported lazily: the analysis layer sits above the pipeline
@@ -100,6 +135,22 @@ class SMTProcessor:
             from repro.analysis.sanitizer import PipelineSanitizer
 
             self.sanitizer = PipelineSanitizer(self)
+        #: Idle-cycle fast-forward engine (None = always step). Running
+        #: with it on or off produces byte-identical ``PipelineStats``
+        #: (enforced by tests/test_fastforward.py); off exists for that
+        #: equivalence check and for debugging.
+        self.ff: FastForward | None = (
+            FastForward(self, _WEDGE_LIMIT, _HDI_SAMPLE_MASK)
+            if fast_forward else None
+        )
+        # Cache the stage bound methods in the instance dict: step()
+        # then pays one attribute lookup per stage per cycle instead of
+        # a fresh descriptor bind. Lookup still happens at call time, so
+        # per-instance wrappers (repro.perf stage timers) intercept.
+        for name in ("_commit", "_apply_events", "_issue", "_dispatch",
+                     "_rename"):
+            setattr(self, name, getattr(self, name))
+        self._fetch_cycle = self.fetch_unit.fetch_cycle
         self._install_residency()
         if warmup:
             self._warm_up(warmup)
@@ -114,10 +165,8 @@ class SMTProcessor:
         all-cold caches; see ``Trace.warm_addrs``."""
         hierarchy = self.hierarchy
         for ts in self.threads:
-            for pc in ts.trace.warm_pcs:
-                hierarchy.access_inst(pc)
-            for addr in ts.trace.warm_addrs:
-                hierarchy.access_data(addr)
+            hierarchy.warm_inst(ts.trace.warm_pcs)
+            hierarchy.warm_data(ts.trace.warm_addrs)
 
     def _warm_up(self, warmup: int) -> None:
         """Functionally replay the first ``warmup`` trace instructions of
@@ -188,70 +237,105 @@ class SMTProcessor:
         self._seq += 1
         return instr
 
-    def _rotation(self, cycle: int) -> list[ThreadState]:
-        n = self.num_threads
-        if n == 1:
-            return self.threads
-        start = cycle % n
-        threads = self.threads
-        return [threads[(start + i) % n] for i in range(n)]
+    def _rotation(self, cycle: int) -> tuple[ThreadState, ...]:  # repro: hot
+        rotations = self._rotations
+        return rotations[cycle % len(rotations)]
 
     # ------------------------------------------------------------------
     # stages
     # ------------------------------------------------------------------
-    def _commit(self, cycle: int) -> None:
-        budget = self.cfg.commit_width
+    def _commit(self, cycle: int) -> None:  # repro: hot
+        budget = self._commit_width
         stats = self.stats
-        for ts in self._rotation(cycle):
+        committed = stats.committed
+        renamer = self.renamer
+        # Inlined RenameUnit.release: the pool boundary test replaces
+        # FreeList.owns, the deque append replaces FreeList.release.
+        fp_base = renamer.fp_free._base
+        int_append = renamer.int_free._free.append
+        fp_append = renamer.fp_free._free.append
+        access_data = self.hierarchy.access_data
+        total = 0
+        rotations = self._rotations
+        for ts in rotations[cycle % self._nrot]:
             if budget <= 0:
                 break
-            rob = ts.rob
-            while budget > 0:
-                head = rob.head
-                if head is None or not head.completed:
+            entries = ts.rob._entries
+            lsq = ts.lsq
+            n = 0
+            while budget > 0 and entries:
+                head = entries[0]
+                if not head.completed:
                     break
-                rob.retire_head()
-                self.renamer.release(head.old_dest_p)
+                entries.popleft()
+                old = head.old_dest_p
+                if old >= 0:
+                    if old >= fp_base:
+                        fp_append(old)
+                    else:
+                        int_append(old)
                 if head.is_load or head.is_store:
-                    ts.lsq.release(head)
+                    lsq.count -= 1  # inlined LoadStoreQueue.release
                     if head.is_store:
+                        seqs = lsq._stores.get(head.addr)
+                        if seqs:
+                            # Stores commit in program order: head is ours.
+                            del seqs[0]
+                            if not seqs:
+                                del lsq._stores[head.addr]
                         # Retirement write; timing charged at issue already.
-                        self.hierarchy.access_data(head.addr)
-                ts.committed += 1
-                stats.committed[ts.tid] += 1
-                stats.committed_total += 1
+                        access_data(head.addr)
+                n += 1
                 budget -= 1
-                self._last_commit_cycle = cycle
+            if n:
+                ts.committed += n
+                committed[ts.tid] += n
+                total += n
+        if total:
+            stats.committed_total += total
+            self._last_commit_cycle = cycle
 
-    def _apply_events(self, cycle: int) -> None:
+    def _apply_events(self, cycle: int) -> None:  # repro: hot
         wakes = self._wake_events.pop(cycle, None)
+        dones = self._done_events.pop(cycle, None)
+        # Consumed by FastForward: an event changes ready bits or
+        # completion flags without moving a progress counter, so the
+        # cycle after one is never a safe skip origin.
+        self._events_fired = wakes is not None or dones is not None
         if wakes:
             ready = self.renamer.ready
-            wakeup = self.iq.wakeup
+            iq = self.iq
+            waiting = iq.waiting
+            heap = iq.ready_heap
             for p in wakes:
                 ready[p] = 1
-                wakeup(p)
-        dones = self._done_events.pop(cycle, None)
+                waiters = waiting.pop(p, None)  # inlined IssueQueue.wakeup
+                if waiters:
+                    for instr in waiters:
+                        nw = instr.num_waiting - 1
+                        instr.num_waiting = nw
+                        if nw == 0 and instr.in_iq:
+                            heappush(heap, (instr.seq, instr))
         if dones:
+            threads = self.threads
             for instr in dones:
                 instr.completed = True
                 instr.complete_cycle = cycle
                 if instr.long_miss:
-                    self.threads[instr.tid].pending_long_misses -= 1
+                    threads[instr.tid].pending_long_misses -= 1
                 if instr.is_branch:
-                    ts = self.threads[instr.tid]
+                    ts = threads[instr.tid]
                     ts.predictor.resolve(
                         instr.pc, instr.taken, instr.target, instr.prediction
                     )
                     if instr.mispredicted and ts.wait_branch is instr:
                         ts.wait_branch = None
-                        ts.stalled_until = max(
-                            ts.stalled_until,
-                            cycle + self.cfg.mispredict_redirect_penalty,
-                        )
+                        stall = cycle + self._redirect_penalty
+                        if stall > ts.stalled_until:
+                            ts.stalled_until = stall
 
     def _start_execution(self, instr: DynInstr, cycle: int,
-                         from_iq: bool) -> None:
+                         from_iq: bool) -> None:  # repro: hot
         instr.issued = True
         instr.issue_cycle = cycle
         ts = self.threads[instr.tid]
@@ -261,86 +345,192 @@ class SMTProcessor:
         if from_iq:
             stats.iq_residency_sum += cycle - instr.dispatch_cycle
             stats.iq_residency_count += 1
-        latency = FU_ASSIGNMENT[OpClass(instr.op)][1]
         extra = 0
         if instr.is_load:
             if ts.lsq.can_forward(instr):
                 instr.forwarded = True
             else:
                 extra = self.hierarchy.access_data(instr.addr).extra_latency
-                if extra >= self.cfg.mem.memory_latency:
+                if extra >= self._mem_latency:
                     instr.long_miss = True
                     ts.pending_long_misses += 1
-        wake_at = cycle + latency + extra
-        done_at = wake_at + self.cfg.regread_stages
+        wake_at = cycle + OP_LATENCY[instr.op] + extra
+        done_at = wake_at + self._regread
         if instr.dest_p >= 0:
-            bucket = self._wake_events.get(wake_at)
+            events = self._wake_events
+            bucket = events.get(wake_at)
             if bucket is None:
-                self._wake_events[wake_at] = [instr.dest_p]
+                events[wake_at] = [instr.dest_p]  # repro: noqa[RPR008] — bucket birth
             else:
                 bucket.append(instr.dest_p)
-        bucket = self._done_events.get(done_at)
+        events = self._done_events
+        bucket = events.get(done_at)
         if bucket is None:
-            self._done_events[done_at] = [instr]
+            events[done_at] = [instr]  # repro: noqa[RPR008] — event-bucket birth
         else:
             bucket.append(instr)
 
-    def _issue(self, cycle: int) -> None:
-        budget = self.cfg.issue_width
+    def _issue(self, cycle: int) -> None:  # repro: hot
+        budget = self._issue_width
         fu = self.fu
         dab = self.dab
         if dab is not None and dab.entries:
             # Deadlock-avoidance instructions take precedence (§4); their
             # sources are ready by construction.
-            remaining: list[DynInstr] = []
+            try_claim = fu.try_claim
+            start = self._start_execution
+            remaining: list[DynInstr] = []  # repro: noqa[RPR008] — rare DAB path
             for instr in dab.entries:
-                if budget > 0 and fu.try_claim(instr.op, cycle):
+                if budget > 0 and try_claim(instr.op, cycle):
                     instr.in_dab = False
                     budget -= 1
                     self.stats.dab_issues += 1
-                    self._start_execution(instr, cycle, from_iq=False)
+                    start(instr, cycle, from_iq=False)
                 else:
                     remaining.append(instr)
             dab.entries = remaining
-            if self.cfg.dab_exclusive and dab.entries:
+            if self._dab_exclusive and dab.entries:
                 # Paper §4 simple arbitration: while the deadlock buffer
                 # is occupied, IQ selection is disabled this cycle.
                 return
         if budget <= 0:
             return
+        heap = self.iq.ready_heap
+        if not heap:
+            return
+        # Tests wrap ``_start_execution`` (instance attribute or subclass
+        # override) to observe issues; any wrapper disables the inlined
+        # fast path below so every issue still goes through it.
+        start = self._start_execution
+        custom_start = (
+            getattr(start, "__func__", None)
+            is not SMTProcessor._start_execution
+        )
         iq = self.iq
-        heap = iq.ready_heap
-        deferred: list[tuple[int, DynInstr]] = []
+        fu_units = fu._units
+        issued_per_class = fu.issued_per_class
+        threads = self.threads
+        stats = self.stats
+        access_data = self.hierarchy.access_data
+        mem_latency = self._mem_latency
+        regread = self._regread
+        wake_events = self._wake_events
+        done_events = self._done_events
+        deferred = None
         scanned = 0
+        issued_n = 0
+        resid_sum = 0
         while heap and budget > 0 and scanned < _SELECT_SCAN_LIMIT:
             item = heappop(heap)
             instr = item[1]
             scanned += 1
             if not instr.in_iq:
                 continue
-            if fu.try_claim(instr.op, cycle):
-                iq.remove_on_issue(instr)
+            op = instr.op
+            # Inlined FunctionalUnitPool.try_claim.
+            fuc = OP_FU[op]
+            units = fu_units[fuc]
+            claimed = False
+            i = 0
+            for free_at in units:
+                if free_at <= cycle:
+                    units[i] = cycle + OP_INTERVAL[op]
+                    issued_per_class[fuc] += 1
+                    claimed = True
+                    break
+                i += 1
+            if claimed:
+                instr.in_iq = False  # inlined IssueQueue.remove_on_issue
+                iq.occupancy -= 1
                 budget -= 1
-                self._start_execution(instr, cycle, from_iq=True)
+                if custom_start:
+                    start(instr, cycle, from_iq=True)
+                    continue
+                # Inlined _start_execution (from_iq=True): see that
+                # method for the reference semantics.
+                instr.issued = True
+                instr.issue_cycle = cycle
+                ts = threads[instr.tid]
+                ts.icount -= 1
+                issued_n += 1
+                resid_sum += cycle - instr.dispatch_cycle
+                extra = 0
+                if instr.is_load:
+                    # Inlined LoadStoreQueue.can_forward.
+                    lsq = ts.lsq
+                    seqs = lsq._stores.get(instr.addr)
+                    if seqs and seqs[0] < instr.tseq:
+                        lsq.forwards += 1
+                        instr.forwarded = True
+                    else:
+                        extra = access_data(instr.addr).extra_latency
+                        if extra >= mem_latency:
+                            instr.long_miss = True
+                            ts.pending_long_misses += 1
+                wake_at = cycle + OP_LATENCY[op] + extra
+                dest = instr.dest_p
+                if dest >= 0:
+                    bucket = wake_events.get(wake_at)
+                    if bucket is None:
+                        # repro: noqa[RPR008] on bucket births: one
+                        # list per event cycle, amortised.
+                        wake_events[wake_at] = [dest]  # repro: noqa[RPR008]
+                    else:
+                        bucket.append(dest)
+                done_at = wake_at + regread
+                bucket = done_events.get(done_at)
+                if bucket is None:
+                    done_events[done_at] = [instr]  # repro: noqa[RPR008]
+                else:
+                    bucket.append(instr)
+            elif deferred is None:
+                deferred = [item]  # repro: noqa[RPR008] — lazy; only on FU conflicts
             else:
                 deferred.append(item)
-        for item in deferred:
-            heappush(heap, item)
+        if issued_n:
+            stats.issued += issued_n
+            stats.iq_residency_sum += resid_sum
+            stats.iq_residency_count += issued_n
+        if deferred:
+            for item in deferred:
+                heappush(heap, item)
 
-    def _dispatch(self, cycle: int) -> None:
-        budget = self.cfg.dispatch_width
+    def _dispatch(self, cycle: int) -> None:  # repro: hot
+        budget = self._dispatch_width
         total = 0
         threads = self.threads
         for ts in threads:
             ts.blocked_2op = False
-        order = self._rotation(cycle)
+        rotations = self._rotations
+        order = rotations[cycle % self._nrot]
         policy = self.policy
-        for ts in order:
-            if budget <= 0:
-                break
-            n = policy.dispatch_thread(self, ts, cycle, budget)
-            budget -= n
-            total += n
+        if self._policy_inorder:
+            # Inlined InOrderDispatch.dispatch_thread (the exact class,
+            # not a subclass): program order, no admission predicate.
+            iq = self.iq
+            capacity = iq.capacity
+            for ts in order:
+                if budget <= 0:
+                    break
+                buf = ts.dispatch_buffer
+                n = capacity - iq.occupancy
+                if budget < n:
+                    n = budget
+                if len(buf) < n:
+                    n = len(buf)
+                if n > 0:
+                    iq.insert_slice(buf, n, cycle)
+                    del buf[:n]
+                    budget -= n
+                    total += n
+        else:
+            dispatch_thread = policy.dispatch_thread
+            for ts in order:
+                if budget <= 0:
+                    break
+                n = dispatch_thread(self, ts, cycle, budget)
+                budget -= n
+                total += n
         dab = self.dab
         if dab is not None and self.iq.free_slots == 0:
             # Paper §4: an instruction that is ROB-oldest and denied an IQ
@@ -365,83 +555,162 @@ class SMTProcessor:
             # ROB is already full is window-saturated and would stall
             # under the traditional scheduler as well, so leftover NDIs
             # in its buffer are not the cause (paper §3 statistic).
-            nonempty = [ts for ts in threads if ts.dispatch_buffer]
-            relevant = [ts for ts in nonempty if not ts.rob.full]
-            if nonempty:
-                stats.no_dispatch_cycles += 1
-            if relevant:
-                if all(
+            any_buffered = False
+            any_relevant = False
+            all_blocked = True
+            for ts in threads:
+                if not ts.dispatch_buffer:
+                    continue
+                any_buffered = True
+                if ts.rob.full:
+                    continue
+                any_relevant = True
+                if all_blocked and not (
                     ts.blocked_2op or policy.scan_blocked(self, ts)
-                    for ts in relevant
                 ):
+                    all_blocked = False
+            if any_buffered:
+                stats.no_dispatch_cycles += 1
+            if any_relevant:
+                if all_blocked:
                     stats.all_blocked_2op_cycles += 1
                 elif self.iq.free_slots == 0:
                     stats.iq_full_dispatch_stalls += 1
         if policy.needs_reduced_iq and (cycle & _HDI_SAMPLE_MASK) == 0:
-            self._sample_hdi()
+            samples, dispatchable = self._sample_hdi()
+            stats.hdi_piled_samples += samples
+            stats.hdi_piled_dispatchable += dispatchable
         watchdog = self.watchdog
         if watchdog is not None:
             if total:
                 watchdog.note_dispatch()
-            elif any(len(ts.rob) for ts in threads):
-                if watchdog.tick():
-                    self._flush_all(cycle)
+            else:
+                for ts in threads:
+                    if len(ts.rob):
+                        if watchdog.tick():
+                            self._flush_all(cycle)
+                        break
 
-    def _sample_hdi(self) -> None:
+    def _sample_hdi(self) -> tuple[int, int]:  # repro: hot
         """Sample the §4 statistic: of the instructions piled up behind
         the first NDI of each thread, how many are themselves
-        dispatchable (HDIs)?"""
+        dispatchable (HDIs)?
+
+        Returns ``(samples, dispatchable)`` deltas instead of mutating
+        the stats block so the fast-forward engine can scale one sample
+        by the number of sampling points inside a skipped span.
+        """
         iq = self.iq
-        stats = self.stats
+        samples = 0
+        dispatchable = 0
         for ts in self.threads:
             buf = ts.dispatch_buffer
             first_ndi = -1
             for i, instr in enumerate(buf):
-                if len(iq.nonready_sources(instr)) >= 2:
+                if iq.nonready_count(instr) >= 2:
                     first_ndi = i
                     break
             if first_ndi < 0:
                 continue
-            for instr in buf[first_ndi + 1:]:
-                stats.hdi_piled_samples += 1
-                if len(iq.nonready_sources(instr)) < 2:
-                    stats.hdi_piled_dispatchable += 1
+            for j in range(first_ndi + 1, len(buf)):
+                samples += 1
+                if iq.nonready_count(buf[j]) < 2:
+                    dispatchable += 1
+        return samples, dispatchable
 
-    def _rename(self, cycle: int) -> None:
-        budget = self.cfg.decode_width
-        renamer = self.renamer
-        depth = self.cfg.dispatch_buffer_depth
-        stats = self.stats
-        for ts in self._rotation(cycle + 1):
+    def _rename(self, cycle: int) -> None:  # repro: hot
+        budget = self._decode_width
+        renamer = None
+        depth = self._buf_depth
+        total = 0
+        rotations = self._rotations
+        for ts in rotations[(cycle + 1) % self._nrot]:
             if budget <= 0:
                 break
             pipe = ts.pipe
+            if not pipe or pipe[0][0] > cycle:
+                continue
+            if renamer is None:
+                # Hoisted lazily: idle rename cycles skip these lookups.
+                renamer = self.renamer
+                maps = renamer.maps
+                ready = renamer.ready
+                int_free = renamer.int_free._free
+                fp_free = renamer.fp_free._free
             buf = ts.dispatch_buffer
             rob = ts.rob
+            rob_entries = rob._entries
             lsq = ts.lsq
-            while budget > 0 and pipe and pipe[0][0] <= cycle:
-                if len(buf) >= depth or rob.full:
+            lsq_cap = lsq.capacity
+            table_map = maps[ts.tid]._map
+            append = buf.append
+            popleft = pipe.popleft
+            rob_append = rob_entries.append
+            # Tracked locally: this loop is the only writer of either.
+            buf_room = depth - len(buf)
+            rob_room = rob.capacity - len(rob_entries)
+            while budget > 0 and pipe:
+                head = pipe[0]
+                if head[0] > cycle:
                     break
-                instr = pipe[0][1]
-                if (instr.is_load or instr.is_store) and lsq.full:
+                if buf_room <= 0 or rob_room <= 0:
                     break
-                if not renamer.can_rename(ts.tid, instr.dest_l):
+                instr = head[1]
+                is_mem = instr.is_load or instr.is_store
+                if is_mem and lsq.count >= lsq_cap:
                     break
-                pipe.popleft()
-                d, old, s1, s2 = renamer.rename(
-                    ts.tid, instr.dest_l, instr.src1_l, instr.src2_l
-                )
-                instr.dest_p = d
-                instr.old_dest_p = old
-                instr.src1_p = s1
-                instr.src2_p = s2
+                # Inlined RenameUnit.rename (+ can_rename): map table and
+                # free lists accessed directly; RenameUnit.rename stays
+                # the reference form. Source lookups are unconditional:
+                # zero registers are pinned to NO_PREG in the map table,
+                # and NO_REG (-1) indexes the last entry — the FP zero
+                # register, also NO_PREG (see RenameMapTable).
+                dest = instr.dest_l
+                src1_p = table_map[instr.src1_l]
+                src2_p = table_map[instr.src2_l]
+                if dest < 0 or dest == REG_INT_ZERO or dest == REG_FP_ZERO:
+                    dest_p = NO_PREG
+                    old_p = NO_PREG
+                else:
+                    free = fp_free if dest >= FP_BASE else int_free
+                    if not free:
+                        break  # destination free list exhausted
+                    dest_p = free.popleft()  # inlined FreeList.allocate
+                    ready[dest_p] = 0
+                    old_p = table_map[dest]
+                    table_map[dest] = dest_p
+                popleft()
+                instr.dest_p = dest_p
+                instr.old_dest_p = old_p
+                instr.src1_p = src1_p
+                instr.src2_p = src2_p
                 instr.rename_cycle = cycle
-                rob.allocate(instr)
-                if instr.is_load or instr.is_store:
-                    lsq.allocate(instr)
-                buf.append(instr)
+                rob_append(instr)  # inlined ReorderBuffer.allocate
+                if is_mem:
+                    # Inlined LoadStoreQueue.allocate (capacity verified
+                    # above; program-order watermark kept for sanitizer).
+                    tseq = instr.tseq
+                    if tseq <= lsq.last_alloc_tseq:
+                        lsq.alloc_order_ok = False
+                    else:
+                        lsq.last_alloc_tseq = tseq
+                    lsq.count += 1
+                    if instr.is_store:
+                        stores = lsq._stores
+                        addr = instr.addr
+                        seqs = stores.get(addr)
+                        if seqs is None:
+                            # One list per distinct store address.
+                            stores[addr] = [tseq]  # repro: noqa[RPR008]
+                        else:
+                            seqs.append(tseq)
+                append(instr)
+                buf_room -= 1
+                rob_room -= 1
                 budget -= 1
-                stats.renamed += 1
+                total += 1
+        if total:
+            self.stats.renamed += total
 
     def _flush_all(self, cycle: int) -> None:
         """Watchdog recovery: squash everything in flight and refetch
@@ -508,7 +777,7 @@ class SMTProcessor:
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
-    def step(self) -> None:
+    def step(self) -> None:  # repro: hot
         """Advance the machine by one cycle."""
         cycle = self.cycle
         self._commit(cycle)
@@ -516,8 +785,9 @@ class SMTProcessor:
         self._issue(cycle)
         self._dispatch(cycle)
         self._rename(cycle)
-        self.fetch_unit.fetch_cycle(self, cycle)
-        self.iq.tick()
+        self._fetch_cycle(self, cycle)
+        iq = self.iq
+        iq.occupancy_integral += iq.occupancy  # inlined IssueQueue.tick()
         self.stats.cycles += 1
         self.cycle = cycle + 1
         sanitizer = self.sanitizer
@@ -532,20 +802,54 @@ class SMTProcessor:
         if max_insns <= 0:
             raise ValueError(f"max_insns must be positive, got {max_insns}")
         threads = self.threads
+        stats = self.stats
+        step = self.step
+        ff = self.ff
+        # Progress fingerprint: if no stage moved an instruction during a
+        # step, the next cycle is a fast-forward candidate. Counters only
+        # grow, so an unchanged sum means all five unchanged — and the
+        # stop conditions below (commit budget reached, all threads
+        # drained) depend only on state those counters guard, so they
+        # are re-evaluated only when the fingerprint moves.
+        progress = (
+            stats.fetched + stats.renamed + stats.dispatched
+            + stats.issued + stats.committed_total
+        )
         while self.cycle < max_cycles:
-            self.step()
+            step()
             if self.cycle - self._last_commit_cycle > _WEDGE_LIMIT:
                 raise RuntimeError(
                     f"no commits for {_WEDGE_LIMIT} cycles at cycle "
                     f"{self.cycle} — scheduler deadlock (model bug)"
                 )
-            done = False
-            for ts in threads:
-                if ts.committed >= max_insns:
-                    done = True
+            new = (
+                stats.fetched + stats.renamed + stats.dispatched
+                + stats.issued + stats.committed_total
+            )
+            if new != progress:
+                progress = new
+                done = False
+                for ts in threads:
+                    if ts.committed >= max_insns:
+                        done = True
+                        break
+                if done:
                     break
-            if done or all(ts.drained for ts in threads):
-                break
+                alive = False
+                for ts in threads:
+                    # Inlined ThreadState.drained.
+                    if (
+                        ts.fetch_idx < ts.trace_len
+                        or ts.pipe
+                        or ts.dispatch_buffer
+                        or ts.rob._entries
+                    ):
+                        alive = True
+                        break
+                if not alive:
+                    break
+            elif ff is not None:
+                ff.try_skip(max_cycles)
         self._finalize()
         return self.stats
 

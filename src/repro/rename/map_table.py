@@ -13,6 +13,9 @@ class RenameMapTable:
     """Architectural-to-physical mapping for one SMT thread.
 
     Zero registers are pinned to :data:`NO_PREG` and may not be remapped.
+    The core's rename loop relies on that pinning — and on ``NO_REG``
+    (-1) indexing the last entry, the FP zero register — to look up
+    source operands with a single unconditional ``_map[src]``.
     """
 
     __slots__ = ("_map",)

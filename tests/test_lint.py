@@ -286,6 +286,90 @@ class TestRPR007:
 
 
 # ----------------------------------------------------------------------
+# RPR008 — per-cycle allocations in hot functions
+# ----------------------------------------------------------------------
+class TestRPR008:
+    def test_list_display_flagged(self):
+        src = (
+            "def step(self):  # repro: hot\n"
+            "    out = []\n"
+        )
+        assert codes(src) == ["RPR008"]
+
+    @pytest.mark.parametrize("expr", ["{}", "{1}", "[x for x in y]",
+                                      "{x for x in y}",
+                                      "{x: 1 for x in y}",
+                                      "(x for x in y)"])
+    def test_other_containers_flagged(self, expr):
+        src = (
+            "def step(self):  # repro: hot\n"
+            f"    out = {expr}\n"
+        )
+        assert codes(src) == ["RPR008"]
+
+    @pytest.mark.parametrize("call", ["list(xs)", "dict(xs)", "set(xs)",
+                                      "deque(xs)", "sorted(xs)"])
+    def test_constructor_calls_flagged(self, call):
+        src = (
+            "def step(self):  # repro: hot\n"
+            f"    out = {call}\n"
+        )
+        assert codes(src) == ["RPR008"]
+
+    def test_marker_on_wrapped_signature_flagged(self):
+        src = (
+            "def _start_execution(self, instr, cycle,\n"
+            "                     from_iq):  # repro: hot\n"
+            "    bucket = [instr]\n"
+        )
+        assert codes(src) == ["RPR008"]
+
+    def test_unmarked_function_clean(self):
+        src = (
+            "def cold(self):\n"
+            "    return [x for x in self.rows]\n"
+        )
+        assert codes(src) == []
+
+    def test_marker_in_body_does_not_mark_function(self):
+        src = (
+            "def cold(self):\n"
+            "    helper()  # repro: hot\n"
+            "    return []\n"
+        )
+        assert codes(src) == []
+
+    def test_tuple_display_clean(self):
+        # Tuples are the pipeline's data currency (pipe entries, heap
+        # items); only the mutable containers are flagged.
+        src = (
+            "def step(self):  # repro: hot\n"
+            "    self.pipe.append((cycle, instr))\n"
+        )
+        assert codes(src) == []
+
+    def test_module_level_alloc_clean(self):
+        assert codes("TABLE = [0] * 64  # repro: hot\n") == []
+
+    def test_noqa_escape(self):
+        src = (
+            "def step(self):  # repro: hot\n"
+            "    buckets[c] = [p]  # repro: noqa[RPR008] — bucket birth\n"
+        )
+        assert codes(src) == []
+
+    def test_flag_names_the_function(self):
+        src = (
+            "def _dispatch(self):  # repro: hot\n"
+            "    scratch = {}\n"
+        )
+        out = lint_source(src, path="repro/core/example.py",
+                          declared_counters=DECLARED)
+        assert len(out) == 1
+        assert "_dispatch()" in out[0].message
+
+
+# ----------------------------------------------------------------------
 # noqa suppression + parse errors
 # ----------------------------------------------------------------------
 class TestSuppression:
