@@ -3,8 +3,9 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint sanitize-smoke bench-sanitizer figures figures-parallel \
-	cache-clear cache-verify chaos-smoke profile perf-bench perf-gate ci
+.PHONY: test lint flow sanitize-smoke bench-sanitizer figures \
+	figures-parallel cache-clear cache-verify chaos-smoke profile \
+	perf-bench perf-gate ci
 
 test:
 	python -m pytest -x -q
@@ -16,6 +17,14 @@ lint:
 		echo "ruff not installed; skipping (pip install .[lint])"; \
 	fi
 	python -m repro.analysis lint src/repro benchmarks
+
+# Whole-program pass: call-graph hotness (RPR009), determinism taint
+# (RPR010), stage access contracts (RPR011), worker pickle safety
+# (RPR012). Accepted legacy findings live in results/flow_baseline.json;
+# refresh deliberately with:
+#   python -m repro.analysis flow src/repro --update-baseline
+flow:
+	python -m repro.analysis flow src/repro
 
 figures:
 	python -m pytest benchmarks/ --benchmark-only -q

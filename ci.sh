@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, lint (ruff + the custom repro.analysis pass),
+# the whole-program flow analysis (call-graph hotness, determinism
+# taint, stage contracts, worker pickle safety),
 # a short fully-sanitized end-to-end simulation, a 2-worker sweep smoke
 # that asserts the result cache serves a warm rerun in full, a chaos
 # smoke that asserts a fault-injected sweep (worker kills/hangs, cache
@@ -21,6 +23,12 @@ fi
 
 echo "== lint: repro.analysis (simulator-specific rules) =="
 python -m repro.analysis lint src/repro benchmarks
+
+echo "== flow: repro.analysis (whole-program rules RPR009-RPR012) =="
+# Interprocedural pass: transitive hot closure, determinism taint,
+# stage access contracts, worker pickle safety. Accepted findings are
+# pinned in results/flow_baseline.json (picked up automatically).
+python -m repro.analysis flow src/repro
 
 echo "== sanitized smoke simulation (2-thread mix, 5000 cycles) =="
 python - <<'PY'

@@ -5,10 +5,19 @@ Two cooperating layers guard the invariants the paper's claims rest on
 out of order, one-comparator IQ entries never wait on two tags, the
 deadlock-avoidance buffer guarantees forward progress):
 
-* :mod:`repro.analysis.lint` — a custom AST lint pass with
+* :mod:`repro.analysis.lint` — a custom per-file AST lint pass with
   simulator-specific rules (``python -m repro.analysis lint src/repro``),
   each with an error code, ``# repro: noqa[CODE]`` suppression and a
   machine-readable ``--json`` output;
+* :mod:`repro.analysis.flow` — a whole-program pass over the same tree
+  (``python -m repro.analysis flow src/repro``) that builds a project
+  call graph and checks the *interprocedural* rules: transitive hot
+  closure (RPR009), determinism taint (RPR010), stage access contracts
+  (RPR011) and worker fork/pickle safety (RPR012);
+* :mod:`repro.analysis.contracts` — the ``@stage_contract`` declarations
+  naming which architectural state each pipeline stage may read and
+  write, consumed by the flow pass statically and the sanitizer
+  dynamically;
 * :mod:`repro.analysis.sanitizer` — a runtime pipeline sanitizer that,
   when enabled via ``MachineConfig.sanitize=True``, re-validates the
   microarchitectural invariants every ``sanitize_interval`` cycles inside
@@ -21,6 +30,12 @@ See ``docs/analysis.md`` for the rule/invariant catalogue.
 
 from __future__ import annotations
 
+from repro.analysis.contracts import (
+    STAGE_CONTRACTS,
+    StageContract,
+    stage_contract,
+)
+from repro.analysis.flow import FLOW_RULES, flow_paths
 from repro.analysis.lint import LINT_RULES, Violation, lint_paths, lint_source
 from repro.analysis.sanitizer import (
     INVARIANTS,
@@ -30,9 +45,14 @@ from repro.analysis.sanitizer import (
 
 __all__ = [
     "LINT_RULES",
+    "FLOW_RULES",
     "Violation",
     "lint_paths",
     "lint_source",
+    "flow_paths",
+    "STAGE_CONTRACTS",
+    "StageContract",
+    "stage_contract",
     "INVARIANTS",
     "PipelineSanitizer",
     "SanitizerViolation",

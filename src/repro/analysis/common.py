@@ -1,0 +1,60 @@
+"""Constants shared by the lint (per-file) and flow (whole-program)
+static-analysis passes.
+
+Both passes must agree on what counts as "the core cycle loop", which
+packages constitute *simulation code* (where determinism is load-
+bearing), and which library entry points read wall-clock time or
+entropy. Keeping the catalogues here — dependency-free — lets
+:mod:`repro.analysis.lint` and :mod:`repro.analysis.flow` import them
+without pulling in each other.
+"""
+
+from __future__ import annotations
+
+#: Files (path suffixes) that *are* the core cycle loop. RPR004 allows
+#: cross-thread state mutation only here, and RPR010 treats them as
+#: simulation code regardless of their package. ``fastforward.py``
+#: bulk-mutates thread state (watchdog countdowns, stall attribution)
+#: while skipping idle spans, so it is part of the loop by construction.
+CYCLE_LOOP_FILES: tuple[str, ...] = (
+    "pipeline/smt_core.py",
+    "pipeline/fastforward.py",
+)
+
+#: Top-level ``repro`` sub-packages whose code determines simulated
+#: outcomes. The RPR010 taint pass flags any call edge from these into
+#: a wall-clock/entropy-tainted helper; infrastructure packages (exec,
+#: perf, analysis, util) legitimately read the clock for timeouts and
+#: timers and are excluded.
+SIM_PACKAGES: tuple[str, ...] = (
+    "pipeline",
+    "core",
+    "rename",
+    "frontend",
+    "memory",
+    "branch",
+    "isa",
+    "trace",
+    "workloads",
+    "metrics",
+    "config",
+)
+
+#: Wall-clock entry points flagged by RPR001 when called, and seeding
+#: the RPR010 determinism taint.
+WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+})
+
+#: Entropy entry points: never deterministic, not even with a seed.
+ENTROPY_CALLS = frozenset({
+    "os.urandom", "uuid.uuid4",
+})
+
+#: Everything that seeds the RPR010 determinism taint (the bare
+#: ``random`` module is matched by prefix, not listed here).
+TAINT_SOURCE_CALLS = WALLCLOCK_CALLS | ENTROPY_CALLS

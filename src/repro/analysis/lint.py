@@ -46,10 +46,14 @@ A violation on line ``L`` is suppressed by a trailing
 that line; a bare ``# repro: noqa`` suppresses every rule on the line.
 ``RPR000`` reports files that fail to parse and cannot be suppressed.
 
+The whole-program rules RPR009-RPR012 live in
+:mod:`repro.analysis.flow` and run as the ``flow`` subcommand.
+
 Usage::
 
     python -m repro.analysis lint src/repro           # human output
     python -m repro.analysis lint src/repro --json    # machine output
+    python -m repro.analysis flow src/repro           # whole-program
 
 Exit status is 0 when clean and 1 when any violation is reported.
 """
@@ -58,11 +62,17 @@ from __future__ import annotations
 
 import argparse
 import ast
-import json
 import re
 import sys
 from dataclasses import asdict, dataclass
 from pathlib import Path
+
+from repro.analysis.common import (
+    CYCLE_LOOP_FILES,
+    ENTROPY_CALLS,
+    WALLCLOCK_CALLS,
+)
+from repro.util.encoding import stable_dumps
 
 #: code -> one-line description (kept in sync with docs/analysis.md).
 LINT_RULES: dict[str, str] = {
@@ -80,9 +90,6 @@ LINT_RULES: dict[str, str] = {
 #: Files (path suffixes) allowed to call numpy's RNG machinery directly.
 _RNG_EXEMPT = ("util/rng.py",)
 
-#: Files (path suffixes) that *are* the core cycle loop for RPR004.
-_CYCLE_LOOP_FILES = ("pipeline/smt_core.py",)
-
 #: Simulation entry points RPR006 flags when called from benchmarks/;
 #: grids there must go through ``repro.exec.execute_jobs`` (or a driver
 #: such as ``run_sweep`` that routes through it).
@@ -91,14 +98,10 @@ _DIRECT_SIM_CALLS = frozenset({
     "simulate_benchmark",
 })
 
-#: Wall-clock entry points flagged by RPR001 when called.
-_WALLCLOCK_CALLS = frozenset({
-    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
-    "time.process_time_ns", "datetime.now", "datetime.utcnow",
-    "datetime.today", "date.today", "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-})
+#: Wall-clock / entropy entry points flagged by RPR001 when called
+#: (shared with the RPR010 taint pass; see repro.analysis.common).
+_WALLCLOCK_CALLS = WALLCLOCK_CALLS
+_ENTROPY_CALLS = ENTROPY_CALLS
 
 #: Constructors of mutable objects flagged by RPR002 as defaults.
 _MUTABLE_CTORS = frozenset({
@@ -175,6 +178,47 @@ def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
                 c.strip().upper() for c in m.group(1).split(",") if c.strip()
             )
     return out
+
+
+def is_hot_def(node: ast.FunctionDef | ast.AsyncFunctionDef,
+               hot_lines: frozenset[int]) -> bool:
+    """Whether any signature line of ``node`` carries ``# repro: hot``.
+
+    The marker trails the ``def`` line or, for wrapped signatures, the
+    closing line of the argument list — both sit strictly before the
+    first body statement. Shared with the flow pass, which seeds its
+    transitive hot closure (RPR009) from the same marker.
+    """
+    if not hot_lines:
+        return False
+    sig_end = node.body[0].lineno if node.body else node.lineno + 1
+    sig_end = max(sig_end, node.lineno + 1)
+    return any(line in hot_lines for line in range(node.lineno, sig_end))
+
+
+def iter_container_allocations(node: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Yield ``(ast_node, kind)`` for each container allocation in the
+    body of ``node`` — the RPR008 vocabulary, shared with RPR009's scan
+    of hot-closure callees."""
+    for stmt in node.body:
+        for sub in ast.walk(stmt):
+            kind = None
+            if isinstance(sub, ast.List):
+                kind = "list display"
+            elif isinstance(sub, ast.Dict):
+                kind = "dict display"
+            elif isinstance(sub, ast.Set):
+                kind = "set display"
+            elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                kind = "comprehension"
+            elif isinstance(sub, ast.GeneratorExp):
+                kind = "generator expression"
+            elif isinstance(sub, ast.Call):
+                ctor = _dotted(sub.func)
+                if ctor in _HOT_ALLOC_CALLS:
+                    kind = f"{ctor}() call"
+            if kind is not None:
+                yield sub, kind
 
 
 def _is_float_producing(node: ast.AST) -> bool:
@@ -309,7 +353,7 @@ class _FileLinter(ast.NodeVisitor):
         self.violations: list[Violation] = []
         norm = rel_path.replace("\\", "/")
         self._rng_exempt = norm.endswith(_RNG_EXEMPT)
-        self._in_cycle_loop = norm.endswith(_CYCLE_LOOP_FILES)
+        self._in_cycle_loop = norm.endswith(CYCLE_LOOP_FILES)
         self._in_benchmarks = "benchmarks" in norm.split("/")[:-1]
 
     # -- plumbing -------------------------------------------------------
@@ -362,6 +406,13 @@ class _FileLinter(ast.NodeVisitor):
                         f"wall-clock call {dotted}() makes simulation "
                         "output time-dependent",
                     )
+                elif dotted in _ENTROPY_CALLS:
+                    self._flag(
+                        node, "RPR001",
+                        f"entropy call {dotted}() is nondeterministic "
+                        "even under a fixed seed; derive randomness "
+                        "from repro.util.rng",
+                    )
         if self._in_benchmarks:
             dotted = _dotted(node.func)
             if (
@@ -405,53 +456,19 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- RPR008: per-cycle allocations in hot functions ------------------
-    def _is_hot(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
-        """Whether any signature line of ``node`` carries the marker.
-
-        The marker trails the ``def`` line or, for wrapped signatures,
-        the closing line of the argument list — both sit strictly
-        before the first body statement.
-        """
-        if not self.hot_lines:
-            return False
-        sig_end = node.body[0].lineno if node.body else node.lineno + 1
-        sig_end = max(sig_end, node.lineno + 1)
-        return any(
-            line in self.hot_lines
-            for line in range(node.lineno, sig_end)
-        )
-
     def _check_hot_allocations(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef,
     ) -> None:
-        if not self._is_hot(node):
+        if not is_hot_def(node, self.hot_lines):
             return
-        for stmt in node.body:
-            for sub in ast.walk(stmt):
-                kind = None
-                if isinstance(sub, ast.List):
-                    kind = "list display"
-                elif isinstance(sub, ast.Dict):
-                    kind = "dict display"
-                elif isinstance(sub, ast.Set):
-                    kind = "set display"
-                elif isinstance(sub, (ast.ListComp, ast.SetComp,
-                                      ast.DictComp)):
-                    kind = "comprehension"
-                elif isinstance(sub, ast.GeneratorExp):
-                    kind = "generator expression"
-                elif isinstance(sub, ast.Call):
-                    ctor = _dotted(sub.func)
-                    if ctor in _HOT_ALLOC_CALLS:
-                        kind = f"{ctor}() call"
-                if kind is not None:
-                    self._flag(
-                        sub, "RPR008",
-                        f"{kind} in hot function {node.name}() allocates "
-                        "every simulated cycle; hoist it off the per-cycle "
-                        "path, or mark a deliberate rare-path/amortised "
-                        "allocation with '# repro: noqa[RPR008] — why'",
-                    )
+        for sub, kind in iter_container_allocations(node):
+            self._flag(
+                sub, "RPR008",
+                f"{kind} in hot function {node.name}() allocates "
+                "every simulated cycle; hoist it off the per-cycle "
+                "path, or mark a deliberate rare-path/amortised "
+                "allocation with '# repro: noqa[RPR008] — why'",
+            )
 
     # -- RPR003/004/005: assignments ------------------------------------
     def _check_assign_target(self, node: ast.AST, target: ast.AST,
@@ -577,26 +594,47 @@ def main(argv: list[str] | None = None) -> int:
         description="simulator-specific static analysis (see docs/analysis.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    p = sub.add_parser("lint", help="run the custom AST lint pass")
+    p = sub.add_parser("lint", help="run the per-file AST lint pass")
     p.add_argument("paths", nargs="+", type=Path,
                    help="files or directories to lint")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit machine-readable JSON on stdout")
+    f = sub.add_parser(
+        "flow", help="run the whole-program flow pass (RPR009-RPR012)"
+    )
+    f.add_argument("paths", nargs="+", type=Path,
+                   help="package roots to analyse (e.g. src/repro)")
+    f.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit machine-readable JSON on stdout")
+    f.add_argument("--baseline", type=Path, default=None,
+                   help="suppress findings recorded in this baseline "
+                        "file (default: results/flow_baseline.json at "
+                        "the repository root, when present)")
+    f.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline, report everything")
+    f.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline file with the current "
+                        "findings and exit 0")
     args = parser.parse_args(argv)
 
     for path in args.paths:
         if not path.exists():
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
+    if args.command == "flow":
+        # Imported here: the flow engine is heavier than the per-file
+        # pass and `lint` invocations shouldn't pay for it.
+        from repro.analysis.flow import run_flow_cli
+
+        return run_flow_cli(args)
     violations = lint_paths(args.paths)
     if args.as_json:
-        print(json.dumps(
+        sys.stdout.write(stable_dumps(
             {
                 "violations": [v.as_dict() for v in violations],
                 "count": len(violations),
                 "rules": LINT_RULES,
             },
-            indent=2,
         ))
     else:
         for v in violations:

@@ -23,6 +23,7 @@ records that this is unmeasurable against ``bench_sim_speed``.
 
 from __future__ import annotations
 
+from repro.analysis.contracts import STAGE_CALLABLES, STAGE_CONTRACTS
 from repro.pipeline.dynamic import DynInstr
 
 #: Invariant identifiers a :class:`SanitizerViolation` may carry.
@@ -36,7 +37,73 @@ INVARIANTS = (
     "wakeup-consistency",
     "issue-starvation",
     "commit-monotonicity",
+    "stage-contract",
 )
+
+#: Resource -> cheap fingerprint of its mutable state. The contract
+#: shadow checks (see :meth:`PipelineSanitizer.install_contract_checks`)
+#: fingerprint every resource a stage's ``@stage_contract`` does *not*
+#: declare, before and after the stage runs; any difference is a
+#: contract breach. ``stats`` (every stage counts), ``instr`` (walking
+#: all in-flight instructions per stage would swamp the interval
+#: amortisation) and ``config`` (frozen) are left to the static pass.
+_RESOURCE_PROBES = {
+    "iq": lambda core: (
+        core.iq.occupancy, len(core.iq.ready_heap), len(core.iq.waiting),
+        core.iq.occupancy_integral,
+    ),
+    "ready": lambda core: bytes(core.renamer.ready),
+    "rob": lambda core: tuple(
+        (len(ts.rob._entries),
+         ts.rob._entries[0].tseq if ts.rob._entries else -1)
+        for ts in core.threads
+    ),
+    "lsq": lambda core: tuple(
+        (ts.lsq.count, ts.lsq.last_alloc_tseq, len(ts.lsq._stores))
+        for ts in core.threads
+    ),
+    "map_table": lambda core: tuple(
+        tuple(m._map) for m in core.renamer.maps
+    ),
+    "free_list": lambda core: (
+        tuple(core.renamer.int_free._free),
+        tuple(core.renamer.fp_free._free),
+    ),
+    "fu": lambda core: (
+        tuple(map(tuple, core.fu._units)),
+        tuple(core.fu.issued_per_class),
+    ),
+    "dab": lambda core: (
+        None if core.dab is None
+        else (len(core.dab.entries), core.dab.inserts)
+    ),
+    "watchdog": lambda core: (
+        None if core.watchdog is None
+        else (core.watchdog.remaining, core.watchdog.expiries)
+    ),
+    "events": lambda core: (
+        tuple(sorted(core._wake_events)),
+        tuple(sorted(core._done_events)),
+        sum(map(len, core._wake_events.values())),
+        sum(map(len, core._done_events.values())),
+    ),
+    "thread": lambda core: tuple(
+        (ts.fetch_idx, len(ts.pipe), len(ts.dispatch_buffer), ts.icount,
+         ts.stalled_until, ts.committed, ts.blocked_2op)
+        for ts in core.threads
+    ),
+    "predictor": lambda core: tuple(
+        (ts.predictor.branches, ts.predictor.mispredicts)
+        for ts in core.threads
+    ),
+    "memory": lambda core: (
+        core.hierarchy.l1d.accesses, core.hierarchy.l1d.misses,
+        core.hierarchy.l1i.accesses, core.hierarchy.l2.accesses,
+    ),
+    "core": lambda core: (
+        core._seq, core._last_commit_cycle, core._events_fired,
+    ),
+}
 
 
 class SanitizerViolation(Exception):
@@ -83,6 +150,7 @@ class PipelineSanitizer:
         "core",
         "interval",
         "starvation_bound",
+        "contract_checks",
         "_prev_cycles",
         "_prev_committed_total",
         "_prev_committed",
@@ -94,10 +162,67 @@ class PipelineSanitizer:
         self.core = core
         self.interval = cfg.sanitize_interval
         self.starvation_bound = cfg.sanitize_starvation_bound
+        #: Stage-contract shadow checks performed. Kept here, not in
+        #: PipelineStats: the sanitizer must not perturb the stats block
+        #: it is checking.
+        self.contract_checks = 0
         self._prev_cycles = 0
         self._prev_committed_total = 0
         self._prev_committed = [0] * core.num_threads
         self._prev_head_tseq = [-1] * core.num_threads
+
+    # ------------------------------------------------------------------
+    def install_contract_checks(self) -> None:
+        """Wrap the core's cached stage callables with shadow checks of
+        the ``@stage_contract`` declarations.
+
+        Uses the same instance-dict interception as the ``repro.perf``
+        stage timers: the class methods stay untouched, each per-core
+        cached callable is replaced by a closure. On sanitizer-gated
+        cycles (``cycle % interval == 0``) the closure fingerprints every
+        resource the stage's contract does *not* declare, runs the stage,
+        and raises ``SanitizerViolation("stage-contract", ...)`` if any
+        undeclared resource changed. A watchdog recovery flush inside the
+        stage legitimately rewrites everything, so a check observing a
+        flush (``stats.watchdog_flushes`` moved) is abandoned.
+
+        Must be called after the core has cached the stage callables in
+        its instance dict (the ``SMTProcessor.__init__`` caching loop).
+        """
+        core = self.core
+        for attr, stage in STAGE_CALLABLES.items():
+            contract = STAGE_CONTRACTS.get(stage)
+            if contract is None:
+                continue
+            probes = tuple(
+                (res, _RESOURCE_PROBES[res])
+                for res in contract.undeclared()
+                if res in _RESOURCE_PROBES
+            )
+            if not probes:
+                continue
+            inner = getattr(core, attr)
+
+            def checked(*args, _inner=inner, _probes=probes, _stage=stage,
+                        _self=self, _core=core):
+                cycle = args[-1]
+                if cycle % _self.interval:
+                    return _inner(*args)
+                before = [probe(_core) for _res, probe in _probes]
+                flushes = _core.stats.watchdog_flushes
+                result = _inner(*args)
+                if _core.stats.watchdog_flushes == flushes:
+                    for (res, probe), prior in zip(_probes, before):
+                        if probe(_core) != prior:
+                            raise SanitizerViolation(
+                                "stage-contract", cycle,
+                                detail=f"stage '{_stage}' mutated "
+                                       f"undeclared resource '{res}'",
+                            )
+                _self.contract_checks += 1
+                return result
+
+            setattr(core, attr, checked)
 
     # ------------------------------------------------------------------
     def check(self, cycle: int) -> None:

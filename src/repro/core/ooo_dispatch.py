@@ -51,7 +51,7 @@ class OutOfOrderDispatch(DispatchPolicy):
                 instr.was_ndi_blocked = True
                 if instr.dest_p >= 0:
                     if tainted is None:
-                        tainted = {instr.dest_p}
+                        tainted = {instr.dest_p}  # repro: noqa[RPR009] — lazy
                     else:
                         tainted.add(instr.dest_p)
                 continue
@@ -74,7 +74,7 @@ class OutOfOrderDispatch(DispatchPolicy):
                 tainted.add(instr.dest_p)
             iq.insert(instr, cycle)
             if dispatched is None:
-                dispatched = [i]
+                dispatched = [i]  # repro: noqa[RPR009] — lazy
             else:
                 dispatched.append(i)
             n += 1
@@ -83,8 +83,10 @@ class OutOfOrderDispatch(DispatchPolicy):
             # blocked purely by the 2OP restriction.
             ts.blocked_2op = True
         if dispatched:
-            keep = set(dispatched)
-            ts.dispatch_buffer = [
+            # Guarded by `if dispatched`: pays only on cycles that moved
+            # at least one instruction past an NDI.
+            keep = set(dispatched)  # repro: noqa[RPR009]
+            ts.dispatch_buffer = [  # repro: noqa[RPR009]
                 ins for j, ins in enumerate(buf) if j not in keep
             ]
         return n
@@ -95,7 +97,8 @@ class OutOfOrderDispatch(DispatchPolicy):
             return False
         iq = core.iq
         if self.filtered:
-            tainted: set[int] = set()
+            # Cold diagnostic path: runs only on zero-dispatch cycles.
+            tainted: set[int] = set()  # repro: noqa[RPR009]
             for instr in buf:
                 if iq.nonready_count(instr) >= 2:
                     if instr.dest_p >= 0:

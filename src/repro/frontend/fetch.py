@@ -16,6 +16,7 @@ Per cycle, up to ``fetch_threads_per_cycle`` (2) threads share the
 
 from __future__ import annotations
 
+from repro.analysis.contracts import stage_contract
 from repro.config.machine import MachineConfig
 from repro.frontend.icount import icount_order, round_robin_order
 from repro.isa.opcodes import OpClass
@@ -41,6 +42,11 @@ class FetchUnit:
         self._stall_gate = cfg.fetch_policy == "stall"
 
     # ------------------------------------------------------------------
+    @stage_contract(
+        "fetch",
+        reads=("config",),
+        writes=("thread", "predictor", "memory", "stats", "core", "instr"),
+    )
     def fetch_cycle(self, core, cycle: int) -> int:  # repro: hot
         """Run one fetch cycle; returns instructions fetched."""
         stall_gate = self._stall_gate

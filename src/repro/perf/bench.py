@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.config.presets import paper_machine
 from repro.experiments.runner import thread_traces
 from repro.pipeline.smt_core import SMTProcessor
+from repro.util.encoding import stable_dumps
 
 #: Bench configuration, mirroring benchmarks/bench_sim_speed.py.
 DEFAULT_MIX: tuple[str, ...] = ("parser", "vortex")
@@ -155,9 +156,8 @@ def decode_bench_result(body: dict[str, object]) -> BenchResult:
 
 
 def dumps_baseline(result: BenchResult) -> str:
-    """Canonical on-disk form of the baseline (sorted keys, newline)."""
-    return json.dumps(encode_bench_result(result), indent=2,
-                      sort_keys=True) + "\n"
+    """Canonical on-disk form of the baseline (byte-stable encoder)."""
+    return stable_dumps(encode_bench_result(result))
 
 
 def write_baseline(path: Path, result: BenchResult) -> None:

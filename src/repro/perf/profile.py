@@ -25,16 +25,16 @@ import pstats
 import time  # repro: noqa[RPR001] — the perf harness measures wall clock
 from dataclasses import dataclass
 
+from repro.analysis.contracts import STAGE_CALLABLES
 from repro.config.presets import paper_machine
 from repro.experiments.runner import thread_traces
 from repro.perf.bench import DEFAULT_INSNS, DEFAULT_MIX, DEFAULT_WARMUP
 from repro.pipeline.smt_core import SMTProcessor
 
-#: The per-cycle callables ``step()`` reads from the instance dict.
-STAGE_NAMES: tuple[str, ...] = (
-    "_commit", "_apply_events", "_issue", "_dispatch", "_rename",
-    "_fetch_cycle",
-)
+#: The per-cycle callables ``step()`` reads from the instance dict —
+#: the same registry the stage contracts and the sanitizer shadow
+#: checks hang off, so a renamed or added stage updates all three.
+STAGE_NAMES: tuple[str, ...] = tuple(STAGE_CALLABLES)
 
 
 @dataclass(frozen=True)

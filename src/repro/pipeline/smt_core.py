@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 
+from repro.analysis.contracts import stage_contract
 from repro.config.machine import MachineConfig
 from repro.core.deadlock import DeadlockAvoidanceBuffer, WatchdogTimer
 from repro.core.iq import IssueQueue
@@ -151,6 +152,11 @@ class SMTProcessor:
                      "_rename"):
             setattr(self, name, getattr(self, name))
         self._fetch_cycle = self.fetch_unit.fetch_cycle
+        if self.sanitizer is not None:
+            # Wrap the cached stage callables with the stage-contract
+            # shadow checks (same mechanism as the perf stage timers;
+            # must run after the caching loop above).
+            self.sanitizer.install_contract_checks()
         self._install_residency()
         if warmup:
             self._warm_up(warmup)
@@ -244,6 +250,12 @@ class SMTProcessor:
     # ------------------------------------------------------------------
     # stages
     # ------------------------------------------------------------------
+    @stage_contract(
+        "commit",
+        reads=("core", "config", "instr"),
+        writes=("rob", "lsq", "free_list", "memory", "thread", "stats",
+                "core"),
+    )
     def _commit(self, cycle: int) -> None:  # repro: hot
         budget = self._commit_width
         stats = self.stats
@@ -295,6 +307,12 @@ class SMTProcessor:
             stats.committed_total += total
             self._last_commit_cycle = cycle
 
+    @stage_contract(
+        "writeback",
+        reads=("core", "config"),
+        writes=("events", "ready", "iq", "thread", "predictor", "instr",
+                "core", "stats"),
+    )
     def _apply_events(self, cycle: int) -> None:  # repro: hot
         wakes = self._wake_events.pop(cycle, None)
         dones = self._done_events.pop(cycle, None)
@@ -370,6 +388,12 @@ class SMTProcessor:
         else:
             bucket.append(instr)
 
+    @stage_contract(
+        "issue",
+        reads=("core", "config", "ready", "rob"),
+        writes=("fu", "iq", "thread", "lsq", "memory", "events", "stats",
+                "dab", "instr"),
+    )
     def _issue(self, cycle: int) -> None:  # repro: hot
         budget = self._issue_width
         fu = self.fu
@@ -495,6 +519,11 @@ class SMTProcessor:
             for item in deferred:
                 heappush(heap, item)
 
+    @stage_contract(
+        "dispatch",
+        reads=("core", "config", "rob", "ready"),
+        writes=("iq", "thread", "dab", "watchdog", "stats", "instr"),
+    )
     def _dispatch(self, cycle: int) -> None:  # repro: hot
         budget = self._dispatch_width
         total = 0
@@ -588,7 +617,11 @@ class SMTProcessor:
                 for ts in threads:
                     if len(ts.rob):
                         if watchdog.tick():
-                            self._flush_all(cycle)
+                            # Watchdog recovery squashes *everything*:
+                            # exempt from the dispatch contract and the
+                            # hot closure — it fires at most once per
+                            # watchdog period.
+                            self._flush_all(cycle)  # repro: noqa[RPR009,RPR011]
                         break
 
     def _sample_hdi(self) -> tuple[int, int]:  # repro: hot
@@ -618,6 +651,12 @@ class SMTProcessor:
                     dispatchable += 1
         return samples, dispatchable
 
+    @stage_contract(
+        "rename",
+        reads=("core", "config"),
+        writes=("thread", "rob", "lsq", "map_table", "free_list", "ready",
+                "stats", "instr"),
+    )
     def _rename(self, cycle: int) -> None:  # repro: hot
         budget = self._decode_width
         renamer = None
@@ -792,7 +831,8 @@ class SMTProcessor:
         self.cycle = cycle + 1
         sanitizer = self.sanitizer
         if sanitizer is not None and cycle % sanitizer.interval == 0:
-            sanitizer.check(cycle)
+            # Interval-amortised; off the hot closure by construction.
+            sanitizer.check(cycle)  # repro: noqa[RPR009]
 
     def run(self, max_insns: int, max_cycles: int = 5_000_000,
             ) -> PipelineStats:

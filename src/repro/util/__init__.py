@@ -1,5 +1,7 @@
-"""Small shared utilities: deterministic RNG derivation and validation."""
+"""Small shared utilities: deterministic RNG derivation, validation and
+byte-stable JSON encoding."""
 
+from repro.util.encoding import stable_dumps
 from repro.util.rng import derive_seed, make_rng
 from repro.util.validate import check_positive, check_power_of_two, check_range
 
@@ -9,4 +11,5 @@ __all__ = [
     "check_positive",
     "check_power_of_two",
     "check_range",
+    "stable_dumps",
 ]

@@ -67,6 +67,20 @@ class TestRPR001:
     def test_unrelated_attribute_clean(self):
         assert codes("x = obj.timestamp\n") == []
 
+    @pytest.mark.parametrize("call", [
+        "os.urandom(16)",
+        "uuid.uuid4()",
+        "time.clock_gettime(0)",
+        "time.clock_gettime_ns(0)",
+    ])
+    def test_entropy_and_clock_gettime_calls_flagged(self, call):
+        assert codes(f"x = {call}\n") == ["RPR001"]
+
+    def test_os_and_uuid_imports_are_not_flagged(self):
+        # Only the calls are nondeterministic; the modules themselves
+        # are pervasive (paths, IDs in reports) and stay importable.
+        assert codes("import os\nimport uuid\n") == []
+
 
 # ----------------------------------------------------------------------
 # RPR002 — mutable default arguments
@@ -390,8 +404,36 @@ class TestSuppression:
         src = "import random  # repro: noqa[RPR001]\nimport time\n"
         assert codes(src) == ["RPR001"]
 
+    def test_multi_code_tolerates_extra_whitespace(self):
+        src = "import random  # repro: noqa[ RPR002 ,  RPR001 ]\n"
+        assert codes(src) == []
+
+    def test_codes_are_case_insensitive(self):
+        assert codes("import random  # repro: noqa[rpr001]\n") == []
+
+    def test_noqa_on_continuation_line_does_not_suppress(self):
+        # Suppression is matched against the line a violation is
+        # *reported* at — the first line of the construct. A noqa
+        # trailing the closing line of a wrapped expression is inert.
+        src = (
+            "t = time.perf_counter(\n"
+            ")  # repro: noqa[RPR001]\n"
+        )
+        assert codes(src) == ["RPR001"]
+
+    def test_noqa_on_reporting_line_of_wrapped_call_suppresses(self):
+        src = (
+            "t = time.perf_counter(  # repro: noqa[RPR001]\n"
+            ")\n"
+        )
+        assert codes(src) == []
+
     def test_syntax_error_reported_not_suppressed(self):
         out = lint_source("def broken(:\n  # repro: noqa\n")
+        assert [v.code for v in out] == ["RPR000"]
+
+    def test_rpr000_unsuppressible_even_on_its_own_line(self):
+        out = lint_source("import  # repro: noqa\n")
         assert [v.code for v in out] == ["RPR000"]
 
 

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.contracts import RESOURCES, STAGE_CALLABLES
 from repro.analysis.sanitizer import (
+    _RESOURCE_PROBES,
     INVARIANTS,
     PipelineSanitizer,
     SanitizerViolation,
@@ -307,3 +309,80 @@ class TestWiring:
         core = make_core()
         assert isinstance(core.sanitizer, PipelineSanitizer)
         assert core.sanitizer.interval == 8
+
+
+# ----------------------------------------------------------------------
+# stage-contract shadow checks
+# ----------------------------------------------------------------------
+class TestStageContracts:
+    def test_wrappers_installed_on_every_stage_callable(self):
+        core = make_core()
+        for attr in STAGE_CALLABLES:
+            assert getattr(core, attr).__name__ == "checked", attr
+
+    def test_clean_run_performs_contract_checks(self):
+        core = make_core()
+        stats = core.run(300)
+        assert core.sanitizer.contract_checks > 0
+        # The counter lives on the sanitizer, not in PipelineStats: the
+        # sanitizer must not perturb the stats block it is checking.
+        assert "contract_checks" not in stats.as_dict()
+
+    def test_probes_cover_every_dynamic_resource(self):
+        # stats (every stage counts), instr (too wide per interval) and
+        # config (frozen) are left to the static pass; everything else
+        # must have a fingerprint probe.
+        assert set(_RESOURCE_PROBES) == (
+            set(RESOURCES) - {"stats", "instr", "config"}
+        )
+
+    def _core_with_rogue_stage(self, attr: str, mutate) -> SMTProcessor:
+        """A core whose ``attr`` stage callable also runs ``mutate``,
+        wrapped by manually installed contract checks (same order as
+        ``SMTProcessor.__init__``: cache, corrupt, then install)."""
+        core = SMTProcessor(
+            small_machine(scheduler="2op_ooo").replace(sanitize_interval=8),
+            [serial_trace(), serial_trace()],
+        )
+        inner = getattr(core, attr)
+
+        def rogue(*args):
+            result = inner(*args)
+            mutate(core)
+            return result
+
+        setattr(core, attr, rogue)
+        sanitizer = PipelineSanitizer(core)
+        sanitizer.install_contract_checks()
+        return core
+
+    def _expect_contract_violation(self, core: SMTProcessor,
+                                   stage: str, resource: str) -> None:
+        with pytest.raises(SanitizerViolation) as excinfo:
+            for _ in range(16):
+                core.step()
+        violation = excinfo.value
+        assert violation.invariant == "stage-contract"
+        assert f"stage '{stage}'" in violation.detail
+        assert f"'{resource}'" in violation.detail
+
+    def test_commit_mutating_iq_is_caught(self):
+        core = self._core_with_rogue_stage(
+            "_commit",
+            lambda c: c.iq.ready_heap.append((1 << 30, 1 << 30, 0)),
+        )
+        self._expect_contract_violation(core, "commit", "iq")
+
+    def test_rename_mutating_fu_is_caught(self):
+        def bump_fu(c):
+            c.fu.issued_per_class[0] += 1
+
+        core = self._core_with_rogue_stage("_rename", bump_fu)
+        self._expect_contract_violation(core, "rename", "fu")
+
+    def test_dispatch_mutating_free_list_is_caught(self):
+        core = self._core_with_rogue_stage(
+            "_dispatch",
+            lambda c: c.renamer.int_free._free.append(0),
+        )
+        self._expect_contract_violation(core, "dispatch", "free_list")
