@@ -3,9 +3,9 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint flow sanitize-smoke bench-sanitizer figures \
-	figures-parallel cache-clear cache-verify chaos-smoke profile \
-	perf-bench perf-gate ci
+.PHONY: test lint flow mutate mutate-smoke sanitize-smoke \
+	bench-sanitizer figures figures-parallel cache-clear cache-verify \
+	chaos-smoke profile perf-bench perf-gate ci
 
 test:
 	python -m pytest -x -q
@@ -25,6 +25,21 @@ lint:
 #   python -m repro.analysis flow src/repro --update-baseline
 flow:
 	python -m repro.analysis flow src/repro
+
+# Full mutation run over the pipeline hot/contract closure: every
+# operator at every site, pushed through the static → sanitizer →
+# stats → tests oracle cascade (docs/analysis.md). Slow (minutes);
+# cached outcomes make re-runs cheap. Gate against
+# results/mutation_baseline.json; refresh deliberately with:
+#   python -m repro.analysis mutate src/repro/pipeline --update-baseline
+mutate:
+	python -m repro.analysis mutate src/repro/pipeline --jobs 8
+
+# The CI slice: a pinned deterministic 25-mutant sample that must be
+# 100% killed-or-allowlisted.
+mutate-smoke:
+	python -m repro.analysis mutate src/repro/pipeline \
+		--sample 25 --seed 2006 --jobs 2 --require-all-killed
 
 figures:
 	python -m pytest benchmarks/ --benchmark-only -q

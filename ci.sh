@@ -30,6 +30,15 @@ echo "== flow: repro.analysis (whole-program rules RPR009-RPR012) =="
 # pinned in results/flow_baseline.json (picked up automatically).
 python -m repro.analysis flow src/repro
 
+echo "== mutation smoke (pinned 25-mutant sample, 2 workers) =="
+# Measures the detection power of everything above: a deterministic
+# sample of microarchitecture-aware mutants injected into the pipeline
+# hot closure, each of which must be killed by the static → sanitizer
+# → stats → tests cascade or explicitly allowlisted in
+# results/mutation_baseline.json (docs/analysis.md).
+python -m repro.analysis mutate src/repro/pipeline \
+    --sample 25 --seed 2006 --jobs 2 --require-all-killed
+
 echo "== sanitized smoke simulation (2-thread mix, 5000 cycles) =="
 python - <<'PY'
 from repro.config.presets import paper_machine

@@ -1,0 +1,15 @@
+"""Repo-root pytest hooks.
+
+The only job of this file is the mutation-analysis bridge: when the
+``tests`` oracle layer runs the pinned suite against a mutant, it sets
+``REPRO_MUTANT`` to the mutant's JSON spec and this hook installs the
+in-memory import hook *before any test module is imported*. Normal
+test runs (variable unset) take the early return and are unaffected.
+"""
+
+import os
+
+if os.environ.get("REPRO_MUTANT"):
+    from repro.analysis.mutate import install_mutant_from_env
+
+    install_mutant_from_env()

@@ -1,15 +1,33 @@
-"""Constants shared by the lint (per-file) and flow (whole-program)
-static-analysis passes.
+"""Constants and CLI plumbing shared by the static-analysis passes.
 
-Both passes must agree on what counts as "the core cycle loop", which
-packages constitute *simulation code* (where determinism is load-
+The lint (per-file), flow (whole-program) and mutate (dynamic mutation
+analysis) passes must agree on what counts as "the core cycle loop",
+which packages constitute *simulation code* (where determinism is load-
 bearing), and which library entry points read wall-clock time or
-entropy. Keeping the catalogues here — dependency-free — lets
-:mod:`repro.analysis.lint` and :mod:`repro.analysis.flow` import them
-without pulling in each other.
+entropy. They also share command-line plumbing: file discovery,
+``--select``/``--ignore`` rule filtering, ``--changed-only`` discovery
+of files changed against the git merge-base, and the exit-code
+vocabulary of the baseline-gated tools. Keeping all of it here —
+dependency-free — lets the passes import it without pulling in each
+other.
 """
 
 from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+#: Exit-code vocabulary shared by every baseline-gated CLI
+#: (``lint``/``flow``/``mutate``/``perf gate``): 0 clean, 1 regression
+#: (new findings / surviving mutants / slower than the blessed number),
+#: 2 usage error, 3 *stale baseline* (the committed baseline records
+#: findings that no longer occur — refresh it with the printed
+#: ``--update-baseline`` command).
+EXIT_CLEAN = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_STALE_BASELINE = 3
 
 #: Files (path suffixes) that *are* the core cycle loop. RPR004 allows
 #: cross-thread state mutation only here, and RPR010 treats them as
@@ -58,3 +76,109 @@ ENTROPY_CALLS = frozenset({
 #: Everything that seeds the RPR010 determinism taint (the bare
 #: ``random`` module is matched by prefix, not listed here).
 TAINT_SOURCE_CALLS = WALLCLOCK_CALLS | ENTROPY_CALLS
+
+
+# ----------------------------------------------------------------------
+# file discovery
+# ----------------------------------------------------------------------
+def iter_python_files(root: Path):
+    """Yield the .py files under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def changed_python_files(base: str = "main") -> frozenset[Path] | None:
+    """Python files changed versus ``git merge-base HEAD <base>``.
+
+    Covers committed, staged, unstaged and untracked changes, resolved
+    to absolute paths. Returns None when git is unavailable or the
+    merge-base cannot be computed (not a repository, unknown ref) — the
+    caller should fall back to analysing everything rather than
+    silently analysing nothing.
+    """
+    def _git(*args: str) -> list[str] | None:
+        try:
+            proc = subprocess.run(
+                ("git", *args), capture_output=True, text=True, check=False
+            )
+        except OSError:  # repro: noqa[RPR007] — no git binary; caller falls back
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout.splitlines()
+
+    top = _git("rev-parse", "--show-toplevel")
+    if not top:
+        return None
+    root = Path(top[0])
+    merge_base = _git("merge-base", "HEAD", base)
+    if not merge_base:
+        return None
+    listed = _git("diff", "--name-only", merge_base[0], "--")
+    untracked = _git("ls-files", "--others", "--exclude-standard")
+    if listed is None or untracked is None:
+        return None
+    return frozenset(
+        (root / name).resolve()
+        for name in (*listed, *untracked)
+        if name.endswith(".py")
+    )
+
+
+def restrict_to_changed(paths: list[Path],
+                        base: str = "main") -> list[Path] | None:
+    """Narrow command-line roots to the files changed vs the merge-base.
+
+    Returns the changed .py files that live under (or are) one of the
+    given roots — possibly an empty list, meaning "nothing to analyse" —
+    or None when git state is unavailable (with a warning on stderr),
+    in which case the caller should analyse the full roots.
+    """
+    changed = changed_python_files(base)
+    if changed is None:
+        print(
+            "warning: --changed-only could not resolve "
+            f"`git merge-base HEAD {base}`; analysing everything",
+            file=sys.stderr,
+        )
+        return None
+    out: list[Path] = []
+    for root in paths:
+        resolved = root.resolve()
+        for path in sorted(changed):
+            if path == resolved or resolved in path.parents:
+                out.append(path)
+    return sorted(set(out))
+
+
+# ----------------------------------------------------------------------
+# rule filtering (--select / --ignore)
+# ----------------------------------------------------------------------
+def parse_codes(text: str | None) -> frozenset[str] | None:
+    """Parse a comma-separated ``--select``/``--ignore`` code list."""
+    if text is None:
+        return None
+    codes = frozenset(
+        c.strip().upper() for c in text.split(",") if c.strip()
+    )
+    return codes or None
+
+
+def filter_by_code(violations, select: frozenset[str] | None,
+                   ignore: frozenset[str] | None):
+    """Apply ``--select`` (keep only) then ``--ignore`` (drop) filters.
+
+    ``RPR000`` (file does not parse) survives ``--ignore`` — a broken
+    tree must never be reported clean — but an explicit ``--select``
+    that omits it is honoured.
+    """
+    out = violations
+    if select is not None:
+        out = [v for v in out if v.code in select]
+    if ignore is not None:
+        out = [v for v in out if v.code == "RPR000" or v.code not in ignore]
+    return list(out)

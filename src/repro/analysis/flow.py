@@ -71,8 +71,16 @@ from pathlib import Path
 
 from repro.analysis.common import (
     CYCLE_LOOP_FILES,
+    EXIT_CLEAN,
+    EXIT_REGRESSION,
+    EXIT_STALE_BASELINE,
+    EXIT_USAGE,
     SIM_PACKAGES,
     TAINT_SOURCE_CALLS,
+    filter_by_code,
+    iter_python_files,
+    parse_codes,
+    restrict_to_changed,
 )
 from repro.analysis.contracts import (
     ANCHOR_ATTRS,
@@ -88,7 +96,6 @@ from repro.analysis.lint import (
     _noqa_map,
     is_hot_def,
     iter_container_allocations,
-    iter_python_files,
 )
 from repro.util.encoding import stable_dumps
 
@@ -960,8 +967,14 @@ def _check_ship_safety(project: Project) -> list[Violation]:
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
-def build_project(paths: list[Path]) -> Project:
-    """Parse every module under the given roots into one Project."""
+def build_project(paths: list[Path],
+                  overrides: dict[str, str] | None = None) -> Project:
+    """Parse every module under the given roots into one Project.
+
+    ``overrides`` maps resolved file paths to replacement source text;
+    the mutation engine uses it to analyse an in-memory mutant of one
+    module against the rest of the tree as it exists on disk.
+    """
     project = Project()
     for root in paths:
         root = Path(root)
@@ -975,9 +988,12 @@ def build_project(paths: list[Path]) -> Project:
                 if parts[-1] == "__init__":
                     parts = parts[:-1]
                 dotted = ".".join(parts)
-            project.add_source(
-                path.read_text(encoding="utf-8"), str(path), rel, dotted
-            )
+            source = None
+            if overrides is not None:
+                source = overrides.get(str(path.resolve()))
+            if source is None:
+                source = path.read_text(encoding="utf-8")
+            project.add_source(source, str(path), rel, dotted)
     for fn in list(project.funcs.values()):
         _FuncScanner(project, fn).run()
     return project
@@ -998,10 +1014,11 @@ def _apply_noqa(project: Project,
 
 def flow_paths(paths: list[Path],
                baseline: dict[str, object] | None = None,
+               overrides: dict[str, str] | None = None,
                ) -> list[Violation]:
     """Run RPR009-RPR012 over the given roots; returns findings that
     are neither noqa-suppressed nor recorded in ``baseline``."""
-    project = build_project(paths)
+    project = build_project(paths, overrides=overrides)
     violations = list(project.parse_errors)
     violations += _apply_noqa(project, (
         _check_hot_closure(project)
@@ -1010,15 +1027,28 @@ def flow_paths(paths: list[Path],
         + _check_ship_safety(project)
     ))
     if baseline:
-        known = {
-            (str(f["path"]), str(f["code"]), str(f["message"]))
-            for f in baseline.get("findings", ())
-        }
-        violations = [
-            v for v in violations
-            if (v.path, v.code, v.message) not in known
-        ]
+        violations, _stale = split_baseline(violations, baseline)
     return violations
+
+
+def split_baseline(
+    violations: list[Violation], baseline: dict[str, object],
+) -> tuple[list[Violation], list[tuple[str, str, str]]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new, stale)``: the violations not recorded in the
+    baseline (regressions), and the baseline fingerprints that no
+    finding matched any more (stale entries — the accepted debt was
+    paid down and the baseline should be refreshed).
+    """
+    known = {
+        (str(f["path"]), str(f["code"]), str(f["message"]))
+        for f in baseline.get("findings", ())
+    }
+    seen = {(v.path, v.code, v.message) for v in violations}
+    new = [v for v in violations if (v.path, v.code, v.message) not in known]
+    stale = sorted(known - seen)
+    return new, stale
 
 
 def encode_baseline(violations: list[Violation]) -> dict[str, object]:
@@ -1059,26 +1089,67 @@ def run_flow_cli(args) -> int:
         if not baseline_path.exists():
             print(f"error: no such baseline: {baseline_path}",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         baseline = load_baseline(baseline_path)
-    violations = flow_paths(args.paths, baseline=baseline)
+    violations = flow_paths(args.paths)
     if args.update_baseline:
         path = args.baseline or default_baseline_path()
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(stable_dumps(encode_baseline(violations)),
                         encoding="utf-8")
         print(f"wrote {len(violations)} finding(s) to {path}")
-        return 0
+        return EXIT_CLEAN
+    stale: list[tuple[str, str, str]] = []
+    if baseline is not None:
+        violations, stale = split_baseline(violations, baseline)
+    # --select/--ignore/--changed-only narrow what is *reported*; the
+    # analysis itself stays whole-program (closures need every module).
+    select = parse_codes(args.select)
+    ignore = parse_codes(args.ignore)
+    filtered_view = (select is not None or ignore is not None
+                     or args.changed_only)
+    violations = filter_by_code(violations, select, ignore)
+    if args.changed_only:
+        narrowed = restrict_to_changed(list(args.paths), args.base)
+        if narrowed is not None:
+            keep = {str(p) for p in narrowed}
+            keep |= {str(p.resolve()) for p in narrowed}
+            violations = [
+                v for v in violations
+                if v.path in keep or str(Path(v.path).resolve()) in keep
+            ]
+    rebaseline_cmd = (
+        "python -m repro.analysis flow "
+        + " ".join(str(p) for p in args.paths)
+        + " --update-baseline"
+    )
     if args.as_json:
         sys.stdout.write(stable_dumps({
             "violations": [v.as_dict() for v in violations],
             "count": len(violations),
             "rules": FLOW_RULES,
             "baseline": str(baseline_path) if baseline else None,
+            "stale_baseline": [
+                {"path": p, "code": c, "message": m} for p, c, m in stale
+            ],
         }))
     else:
         for v in violations:
             print(v.render())
         if violations:
             print(f"{len(violations)} violation(s) found")
-    return 1 if violations else 0
+            print("accept deliberately (refreshes the baseline):\n  "
+                  f"{rebaseline_cmd}")
+    if violations:
+        return EXIT_REGRESSION
+    # Only a full, unfiltered view can judge the baseline stale: a
+    # narrowed report simply cannot see every recorded finding.
+    if stale and not filtered_view:
+        if not args.as_json:
+            print(f"stale baseline: {len(stale)} recorded finding(s) "
+                  "no longer occur:")
+            for path, code, message in stale:
+                print(f"  {path}: {code} {message}")
+            print(f"refresh it:\n  {rebaseline_cmd}")
+        return EXIT_STALE_BASELINE
+    return EXIT_CLEAN

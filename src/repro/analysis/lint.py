@@ -70,9 +70,21 @@ from pathlib import Path
 from repro.analysis.common import (
     CYCLE_LOOP_FILES,
     ENTROPY_CALLS,
+    EXIT_CLEAN,
+    EXIT_REGRESSION,
+    EXIT_USAGE,
     WALLCLOCK_CALLS,
+    filter_by_code,
+    iter_python_files,
+    parse_codes,
+    restrict_to_changed,
 )
 from repro.util.encoding import stable_dumps
+
+__all__ = [
+    "LINT_RULES", "Violation", "lint_source", "lint_paths",
+    "iter_python_files", "main",
+]
 
 #: code -> one-line description (kept in sync with docs/analysis.md).
 LINT_RULES: dict[str, str] = {
@@ -560,16 +572,6 @@ def lint_source(source: str, path: str = "<string>",
     return out
 
 
-def iter_python_files(root: Path):
-    """Yield the .py files under ``root`` (or ``root`` itself), sorted."""
-    if root.is_file():
-        yield root
-        return
-    for path in sorted(root.rglob("*.py")):
-        if "__pycache__" not in path.parts:
-            yield path
-
-
 def lint_paths(paths: list[Path],
                declared_counters: frozenset[str] | None = None,
                ) -> list[Violation]:
@@ -587,6 +589,22 @@ def lint_paths(paths: list[Path],
     return violations
 
 
+def _add_shared_flags(p: argparse.ArgumentParser) -> None:
+    """Flags common to the lint and flow CLIs (see docs/analysis.md)."""
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit machine-readable JSON on stdout")
+    p.add_argument("--select", default=None, metavar="CODES",
+                   help="comma-separated rule codes to report "
+                        "(e.g. RPR001,RPR007); default: all")
+    p.add_argument("--ignore", default=None, metavar="CODES",
+                   help="comma-separated rule codes to suppress")
+    p.add_argument("--changed-only", action="store_true",
+                   help="only analyse files changed vs "
+                        "`git merge-base HEAD <base>`")
+    p.add_argument("--base", default="main", metavar="REF",
+                   help="base ref for --changed-only (default: main)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro.analysis`` entry point; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -597,15 +615,13 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("lint", help="run the per-file AST lint pass")
     p.add_argument("paths", nargs="+", type=Path,
                    help="files or directories to lint")
-    p.add_argument("--json", action="store_true", dest="as_json",
-                   help="emit machine-readable JSON on stdout")
+    _add_shared_flags(p)
     f = sub.add_parser(
         "flow", help="run the whole-program flow pass (RPR009-RPR012)"
     )
     f.add_argument("paths", nargs="+", type=Path,
                    help="package roots to analyse (e.g. src/repro)")
-    f.add_argument("--json", action="store_true", dest="as_json",
-                   help="emit machine-readable JSON on stdout")
+    _add_shared_flags(f)
     f.add_argument("--baseline", type=Path, default=None,
                    help="suppress findings recorded in this baseline "
                         "file (default: results/flow_baseline.json at "
@@ -615,19 +631,41 @@ def main(argv: list[str] | None = None) -> int:
     f.add_argument("--update-baseline", action="store_true",
                    help="rewrite the baseline file with the current "
                         "findings and exit 0")
+    m = sub.add_parser(
+        "mutate",
+        help="mutation analysis: measure oracle detection power",
+    )
+    from repro.analysis.mutate import add_mutate_args
+
+    add_mutate_args(m)
     args = parser.parse_args(argv)
 
     for path in args.paths:
         if not path.exists():
             print(f"error: no such path: {path}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     if args.command == "flow":
         # Imported here: the flow engine is heavier than the per-file
         # pass and `lint` invocations shouldn't pay for it.
         from repro.analysis.flow import run_flow_cli
 
         return run_flow_cli(args)
-    violations = lint_paths(args.paths)
+    if args.command == "mutate":
+        from repro.analysis.mutate import run_mutate_cli
+
+        return run_mutate_cli(args)
+    paths = list(args.paths)
+    # RPR003 needs the PipelineStats declarations even when the change
+    # set does not include pipeline/stats.py itself.
+    declared = discover_declared_counters(paths)
+    if args.changed_only:
+        narrowed = restrict_to_changed(paths, args.base)
+        if narrowed is not None:
+            paths = narrowed
+    violations = filter_by_code(
+        lint_paths(paths, declared_counters=declared) if paths else [],
+        parse_codes(args.select), parse_codes(args.ignore),
+    )
     if args.as_json:
         sys.stdout.write(stable_dumps(
             {
@@ -641,7 +679,7 @@ def main(argv: list[str] | None = None) -> int:
             print(v.render())
         if violations:
             print(f"{len(violations)} violation(s) found")
-    return 1 if violations else 0
+    return EXIT_REGRESSION if violations else EXIT_CLEAN
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,7 +8,9 @@ paper's dispatch engine with its deadlock-avoidance buffer and watchdog
 timer — guaranteed to make forward progress under faults:
 
 * :mod:`repro.exec.jobs`    — :class:`SimJob`, a grid point as picklable,
-  content-hashable data;
+  content-hashable data, and :class:`WorkJob`, the generic job kind
+  that lets non-simulation workloads (mutation analysis) ride the same
+  farm;
 * :mod:`repro.exec.cache`   — :class:`ResultCache`, an on-disk
   content-addressed store with atomic writes, payload checksums and
   corrupt-entry quarantine;
@@ -36,7 +38,7 @@ from repro.exec.cache import (
     default_cache_dir,
 )
 from repro.exec.chaos import CHAOS_EXIT_CODE, ChaosConfig, ChaosError
-from repro.exec.jobs import JobResult, SimJob, jobs_for_grid
+from repro.exec.jobs import JobResult, SimJob, WorkJob, jobs_for_grid
 from repro.exec.journal import (
     DEFAULT_JOURNAL_DIR,
     RunJournal,
@@ -72,6 +74,7 @@ __all__ = [
     "RunJournal",
     "SimJob",
     "VerifyReport",
+    "WorkJob",
     "default_cache_dir",
     "default_journal_dir",
     "derive_run_id",

@@ -120,6 +120,11 @@ class SimJob:
             cost += self.max_insns * len(set(self.benchmarks))
         return cost
 
+    def describe(self) -> str:
+        """One-line human identity for failure reports and progress."""
+        return (f"{'+'.join(self.benchmarks)} @ "
+                f"{self.config.scheduler}/iq{self.config.iq_size}")
+
     def run(self) -> JobResult:
         """Execute the grid point in the current process."""
         from repro.experiments.runner import (
@@ -137,6 +142,81 @@ class SimJob:
             self.max_cycles, self.warmup,
         )
         return JobResult(result=result)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkJob:
+    """An arbitrary unit of work shipped through the grid machinery.
+
+    The executor only ever needs four things from a job — a content
+    hash, a cost estimate, a ``run()`` and a ``describe()`` — so
+    non-simulation workloads (mutation analysis, batch linting) reuse
+    the whole farm: LJF scheduling, per-job timeout, the hung-worker
+    watchdog, retries, journalling. The work itself is named by
+    ``entry`` (``"package.module:function"``); the function receives
+    ``payload`` (a JSON-safe dict — RPR012's pickle-safety rules apply)
+    and should return a JSON-safe value so the journal can embed it.
+
+    Results are *not* stored in the :class:`~repro.exec.cache
+    .ResultCache` (its schema is :class:`SimJob`-shaped); callers that
+    want warm re-runs keep their own content-addressed store keyed by
+    :meth:`content_hash`.
+    """
+
+    entry: str
+    payload: dict
+    #: Relative wall-clock estimate for longest-job-first ordering.
+    cost: int = 1
+    #: Discriminator recorded in the fingerprint so the journal can
+    #: reconstruct the right job class on resume.
+    kind: str = "work"
+
+    def fingerprint_payload(self) -> dict[str, object]:
+        """The job as a JSON-safe dict; the domain of the content hash."""
+        return {
+            "kind": self.kind,
+            "entry": self.entry,
+            "payload": self.payload,
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_fingerprint(cls, payload: dict[str, object]) -> "WorkJob":
+        """Reconstruct a job from :meth:`fingerprint_payload` output."""
+        return cls(
+            entry=str(payload["entry"]),
+            payload=dict(payload["payload"]),
+            cost=int(payload.get("cost", 1)),
+            kind=str(payload.get("kind", "work")),
+        )
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the job's content."""
+        return hash_payload(self.fingerprint_payload())
+
+    def cost_estimate(self) -> int:
+        return self.cost
+
+    def describe(self) -> str:
+        return f"{self.kind} {self.entry}"
+
+    def run(self) -> object:
+        """Resolve ``entry`` and invoke it with the payload.
+
+        A ``None`` return is coerced to ``{}``: the executor uses
+        ``None`` result slots as its failed-job sentinel, so a job must
+        never *succeed* with one.
+        """
+        import importlib
+
+        module_name, sep, func_name = self.entry.partition(":")
+        if not sep or not module_name or not func_name:
+            raise ValueError(
+                f"WorkJob entry must be 'module:function', got {self.entry!r}"
+            )
+        fn = getattr(importlib.import_module(module_name), func_name)
+        out = fn(dict(self.payload))
+        return {} if out is None else out
 
 
 def config_from_dict(raw: object) -> MachineConfig:

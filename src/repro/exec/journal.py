@@ -37,7 +37,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.exec.cache import decode_job_result, encode_job_result
-from repro.exec.jobs import JobResult, SimJob, hash_payload
+from repro.exec.jobs import JobResult, SimJob, WorkJob, hash_payload
 
 #: Journal line-format version, recorded in ``run-start``.
 JOURNAL_SCHEMA = 1
@@ -90,7 +90,7 @@ class RunJournal:
         self.path = self.root / f"{run_id}.jsonl"
         self.root.mkdir(parents=True, exist_ok=True)
         #: job hash -> decoded result, from prior ``done`` records.
-        self._completed: dict[str, JobResult] = {}
+        self._completed: dict[str, object] = {}
         #: job hash -> fingerprint payload, in first-queued order.
         self._fingerprints: dict[str, dict] = {}
         self._seq = 0
@@ -143,7 +143,11 @@ class RunJournal:
         if event == "queued" and job is not None:
             self._fingerprints.setdefault(job, rec.get("fingerprint"))
         elif event == "done" and job is not None:
-            self._completed[job] = decode_job_result(rec["payload"])
+            if rec.get("payload_kind", "sim") == "sim":
+                self._completed[job] = decode_job_result(rec["payload"])
+            else:
+                # Generic (WorkJob) results are journalled verbatim.
+                self._completed[job] = rec["payload"]
 
     # ------------------------------------------------------------------
     def record(self, event: str, job_hash: str | None = None,
@@ -162,27 +166,46 @@ class RunJournal:
         self._seq += 1
         self._absorb(rec)
 
-    def record_queued(self, job: SimJob, job_hash: str) -> None:
+    def record_queued(self, job, job_hash: str) -> None:
         """Record a queued job with its reconstruction fingerprint."""
         self.record("queued", job_hash,
                     fingerprint=job.fingerprint_payload())
 
-    def record_done(self, job_hash: str, payload: JobResult) -> None:
-        """Record a completed job with its full encoded result."""
-        self.record("done", job_hash, payload=encode_job_result(payload))
+    def record_done(self, job_hash: str, payload: object) -> None:
+        """Record a completed job with its full encoded result.
+
+        :class:`JobResult` payloads go through the cache's codec;
+        anything else (a :class:`~repro.exec.jobs.WorkJob` return) must
+        already be JSON-safe and is embedded verbatim, discriminated by
+        ``payload_kind`` so replay decodes each record correctly.
+        """
+        if isinstance(payload, JobResult):
+            self.record("done", job_hash,
+                        payload=encode_job_result(payload))
+        else:
+            self.record("done", job_hash, payload=payload,
+                        payload_kind="raw")
 
     # ------------------------------------------------------------------
-    def completed_results(self) -> dict[str, JobResult]:
+    def completed_results(self) -> dict[str, object]:
         """Results of every job this journal has seen complete."""
         return dict(self._completed)
 
-    def queued_jobs(self) -> list[SimJob]:
-        """Reconstruct every queued job, in first-queued order."""
-        return [
-            SimJob.from_fingerprint(fp)
-            for fp in self._fingerprints.values()
-            if fp is not None
-        ]
+    def queued_jobs(self) -> list:
+        """Reconstruct every queued job, in first-queued order.
+
+        The fingerprint's ``kind`` discriminator selects the job class;
+        historical journals (no ``kind``) are all :class:`SimJob`.
+        """
+        out = []
+        for fp in self._fingerprints.values():
+            if fp is None:
+                continue
+            if fp.get("kind") == "work":
+                out.append(WorkJob.from_fingerprint(fp))
+            else:
+                out.append(SimJob.from_fingerprint(fp))
+        return out
 
     def close(self) -> None:
         """Close the journal fd (records already on disk stay put)."""

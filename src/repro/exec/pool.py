@@ -116,6 +116,12 @@ class ExecutorConfig:
     #: hung worker stops beating and is reaped within roughly this
     #: grace period regardless of how generous ``timeout`` is.
     watchdog: float | None = _DEFAULT_WATCHDOG_SECONDS
+    #: Return instead of raise when jobs fail terminally: results come
+    #: back *positionally* (one slot per input job, ``None`` where the
+    #: job failed) and the failures are on ``report.job_failures``. For
+    #: workloads where individual failures are data, not errors —
+    #: mutation analysis treats a crashing mutant as a kill.
+    tolerate_failures: bool = False
 
     @classmethod
     def from_env(cls, default_cache: bool = False) -> "ExecutorConfig":
@@ -171,6 +177,10 @@ class ExecReport:
     retried: int = 0
     #: Journal id of this run; None when journalling is off.
     run_id: str | None = None
+    #: Terminal :class:`JobFailure` records, in resolution order.
+    #: Raised inside :class:`ExecutionError` normally; the caller's to
+    #: inspect under ``tolerate_failures``.
+    job_failures: list = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -206,11 +216,7 @@ class ExecutionError(RuntimeError):
         self.report = report
         lines = [f"{len(self.failures)} job(s) failed:"]
         for f in self.failures:
-            lines.append(
-                f"  {'+'.join(f.job.benchmarks)} @ "
-                f"{f.job.config.scheduler}/iq{f.job.config.iq_size}: "
-                f"{f.message}"
-            )
+            lines.append(f"  {f.job.describe()}: {f.message}")
         super().__init__("\n".join(lines))
 
 
@@ -246,7 +252,7 @@ def execute_jobs(jobs: Sequence[SimJob],
              if cfg.cache_dir is not None else None)
     report = ExecReport(total=len(jobs))
     results: list[JobResult | None] = [None] * len(jobs)
-    failures: list[JobFailure] = []
+    failures = report.job_failures
     hashes = [job.content_hash() for job in jobs]
 
     journal: RunJournal | None = None
@@ -282,7 +288,11 @@ def execute_jobs(jobs: Sequence[SimJob],
                     journal.record("resumed", hashes[idx])
                 _emit(job, prior, "resumed")
                 continue
-            hit = cache.get(job) if cache is not None else None
+            # The disk cache's schema is SimJob/JobResult-shaped; other
+            # job kinds bring their own store (see WorkJob docstring).
+            hit = (cache.get(job)
+                   if cache is not None and isinstance(job, SimJob)
+                   else None)
             if hit is not None:
                 results[idx] = hit
                 report.cached += 1
@@ -310,8 +320,11 @@ def execute_jobs(jobs: Sequence[SimJob],
         if journal is not None:
             journal.close()
 
-    if failures:
+    if failures and not cfg.tolerate_failures:
         raise ExecutionError(failures, report)
+    if cfg.tolerate_failures:
+        # Positional: one slot per input job, None where it failed.
+        return list(results), report
     return [r for r in results if r is not None], report
 
 
@@ -358,7 +371,7 @@ def _run_in_process(jobs, hashes, pending, cfg, cache, results, report,
                                error=failures[-1].message)
             emit(job, None, "failed")
             continue
-        if cache is not None:
+        if cache is not None and isinstance(payload, JobResult):
             cache.put(job, payload)
         results[idx] = payload
         report.simulated += 1
@@ -518,7 +531,7 @@ def _run_in_processes(jobs, hashes, pending, cfg, cache, results, report,
         job = jobs[slot.idx]
         job_hash = hashes[slot.idx]
         if payload is not None:
-            if cache is not None:
+            if cache is not None and isinstance(payload, JobResult):
                 cache.put(job, payload)
             results[slot.idx] = payload
             report.simulated += 1

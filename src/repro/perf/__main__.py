@@ -95,13 +95,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_gate(args: argparse.Namespace) -> int:
+    from repro.analysis.common import (
+        EXIT_CLEAN,
+        EXIT_REGRESSION,
+        EXIT_STALE_BASELINE,
+        EXIT_USAGE,
+    )
+
     path = (Path(args.baseline) if args.baseline is not None
             else default_baseline_path())
+    rebaseline = "python -m repro.perf bench --update-baseline"
+    if args.baseline is not None:
+        rebaseline += f" --baseline {args.baseline}"
     if not path.exists():
-        print(f"error: no baseline {path} "
-              "(run: python -m repro.perf bench --update-baseline)",
+        print(f"error: no baseline {path} (run: {rebaseline})",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     baseline = load_baseline(path)
     # A shared CI host can dip below the threshold band for a whole
     # measurement window; re-measure before failing (a real regression
@@ -124,6 +133,11 @@ def _cmd_gate(args: argparse.Namespace) -> int:
                   "re-measuring once to rule out host contention",
                   file=sys.stderr)
     measured = best
+    # The inverse band: measured speed so far above the blessed number
+    # that the gate has lost its teeth (new hardware, or a perf win
+    # that was never re-baselined). Advisory unless --fail-stale: CI
+    # hosts of different speeds must not fail on a healthy repo.
+    stale = report.passed and report.ratio > 1.0 / args.threshold
     if args.as_json:
         print(json.dumps({
             "measured": encode_bench_result(measured),
@@ -131,10 +145,21 @@ def _cmd_gate(args: argparse.Namespace) -> int:
             "ratio": round(report.ratio, 4),
             "threshold": report.threshold,
             "passed": report.passed,
+            "stale": stale,
         }, indent=2))
     else:
         print(report.render())
-    return 0 if report.passed else 1
+    if not report.passed:
+        print("accept the new speed deliberately (refreshes the "
+              f"baseline):\n  {rebaseline}", file=sys.stderr)
+        return EXIT_REGRESSION
+    if stale:
+        print(f"stale baseline: measured {report.ratio:.2f}x the "
+              f"blessed speed; refresh it:\n  {rebaseline}",
+              file=sys.stderr)
+        if args.fail_stale:
+            return EXIT_STALE_BASELINE
+    return EXIT_CLEAN
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -171,6 +196,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--reps", type=int, default=DEFAULT_REPS)
     p.add_argument("--retries", type=int, default=1,
                    help="re-measurements before failing (default 1)")
+    p.add_argument("--fail-stale", action="store_true",
+                   help="exit 3 when the baseline is stale (measured "
+                        "speed far above it) instead of just advising")
     p.add_argument("--json", action="store_true", dest="as_json")
     p.set_defaults(func=_cmd_gate)
 
