@@ -24,7 +24,7 @@ fi
 echo "== lint: repro.analysis (simulator-specific rules) =="
 python -m repro.analysis lint src/repro benchmarks
 
-echo "== flow: repro.analysis (whole-program rules RPR009-RPR012) =="
+echo "== flow: repro.analysis (whole-program rules RPR009-RPR013) =="
 # Interprocedural pass: transitive hot closure, determinism taint,
 # stage access contracts, worker pickle safety. Accepted findings are
 # pinned in results/flow_baseline.json (picked up automatically).
@@ -87,6 +87,13 @@ print(
     f"0 simulations"
 )
 PY
+
+echo "== serve smoke (loopback sweep server + 2 worker agents) =="
+# Boots a sweep server and 2 loopback workers, submits the same grid
+# twice, and asserts the cold run matches the single-host golden run
+# byte-for-byte and the warm re-submission simulates nothing — the
+# shared cache served it in full (docs/distributed.md).
+python -m repro.serve smoke --workers 2
 
 echo "== chaos smoke (worker kills + hangs + cache corruption) =="
 # Deterministic fault injection: the chaotic run must finish and be

@@ -45,6 +45,7 @@ from repro.exec.journal import (
     default_journal_dir,
     derive_run_id,
 )
+from repro.exec.ledger import JobLedger
 from repro.exec.pool import (
     ExecProgress,
     ExecReport,
@@ -69,6 +70,7 @@ __all__ = [
     "ExecutionError",
     "ExecutorConfig",
     "JobFailure",
+    "JobLedger",
     "JobResult",
     "ResultCache",
     "RunJournal",

@@ -35,6 +35,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries: {stats.entries}")
         print(f"bytes:   {stats.total_bytes}")
         print(f"corrupt: {stats.corrupt}")
+        for kind, entries, size in stats.by_kind:
+            print(f"kind {kind}: {entries} entr"
+                  f"{'y' if entries == 1 else 'ies'}, {size} bytes")
+        print(f"hits:    {stats.hits} (over {stats.runs} recorded run"
+              f"{'' if stats.runs == 1 else 's'})")
+        print(f"misses:  {stats.misses}")
         return 0
     if args.action == "verify":
         report = cache.verify()

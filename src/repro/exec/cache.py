@@ -87,13 +87,43 @@ def _repro_version() -> str:
 
 @dataclass(frozen=True, slots=True)
 class CacheStats:
-    """Aggregate numbers for ``repro.exec cache stats``."""
+    """Aggregate numbers for ``repro.exec cache stats`` (and the sweep
+    server's ``/v1/cache`` endpoint, which serves this same struct)."""
 
     root: str
     entries: int
     total_bytes: int
     #: Quarantined ``*.corrupt`` files awaiting inspection/deletion.
     corrupt: int = 0
+    #: Per-kind breakdown ``(kind, entries, bytes)``: ``sim`` for
+    #: :class:`SimJob` results, the fingerprint ``kind`` for other job
+    #: classes (e.g. ``work``), and ``mutation`` for the mutation
+    #: engine's per-layer outcome store under ``<root>/mutation/``.
+    by_kind: tuple[tuple[str, int, int], ...] = ()
+    #: Cache hits summed over the persisted per-run counter files
+    #: (``<root>/runs/<run-id>.json``, written at the end of every
+    #: journalled run).
+    hits: int = 0
+    #: Cache misses (jobs a run had to execute) over the same files.
+    misses: int = 0
+    #: How many per-run counter files the totals aggregate.
+    runs: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe form (shared by ``--json`` and ``/v1/cache``)."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "corrupt": self.corrupt,
+            "by_kind": [
+                {"kind": k, "entries": n, "bytes": b}
+                for k, n, b in self.by_kind
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+            "runs": self.runs,
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -206,20 +236,93 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------
+    # per-run hit/miss counters
+    # ------------------------------------------------------------------
+    def record_run(self, run_id: str, hits: int, misses: int,
+                   total: int) -> Path:
+        """Persist one run's hit/miss counters under ``runs/<run-id>``.
+
+        Written (atomically, like entries) at the end of every
+        journalled run by :meth:`repro.exec.ledger.JobLedger.summarize`;
+        ``stats`` aggregates them so hit rates survive across
+        processes and are visible to ``cache stats`` / ``/v1/cache``.
+        Re-running the same grid overwrites its own counter file (run
+        ids are content-derived), so warm reruns update rather than
+        double-count.
+        """
+        runs = self.root / "runs"
+        runs.mkdir(parents=True, exist_ok=True)
+        path = runs / f"{run_id}.json"
+        blob = json.dumps(
+            {"run_id": run_id, "hits": int(hits), "misses": int(misses),
+             "total": int(total)},
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
-        """Entry count, on-disk footprint, quarantined-file count."""
+        """Entry count, footprint, quarantine count, per-kind breakdown
+        and aggregated per-run hit/miss counters."""
         entries = 0
         total = 0
         corrupt = 0
+        by_kind: dict[str, list[int]] = {}
+        hits = misses = runs = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 entries += 1
-                total += path.stat().st_size
+                size = path.stat().st_size
+                total += size
+                kind = self._entry_kind(path)
+                bucket = by_kind.setdefault(kind, [0, 0])
+                bucket[0] += 1
+                bucket[1] += size
             corrupt = sum(1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}"))
+            # The mutation engine keeps its per-layer outcome store
+            # under <root>/mutation/; count it as its own kind.
+            mutation = self.root / "mutation"
+            if mutation.is_dir():
+                bucket = by_kind.setdefault("mutation", [0, 0])
+                for path in mutation.rglob("*.json"):
+                    bucket[0] += 1
+                    bucket[1] += path.stat().st_size
+            for path in (self.root / "runs").glob("*.json"):
+                try:
+                    rec = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):  # repro: noqa[RPR007] — torn counter file: skip
+                    continue
+                hits += int(rec.get("hits", 0))
+                misses += int(rec.get("misses", 0))
+                runs += 1
         return CacheStats(
             root=str(self.root), entries=entries, total_bytes=total,
             corrupt=corrupt,
+            by_kind=tuple(
+                (kind, n, size)
+                for kind, (n, size) in sorted(by_kind.items())
+            ),
+            hits=hits, misses=misses, runs=runs,
         )
+
+    def _entry_kind(self, path: Path) -> str:
+        """Job kind of one stored entry, from its recorded fingerprint.
+
+        :class:`SimJob` fingerprints predate the ``kind`` discriminator
+        and have none; anything unreadable counts as ``unknown`` (the
+        integrity sweep, not stats, judges corruption).
+        """
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            job = entry.get("job")
+            if isinstance(job, dict):
+                return str(job.get("kind", "sim"))
+        except (OSError, ValueError):  # repro: noqa[RPR007] — stats never raise on damage
+            pass
+        return "unknown"
 
     def verify(self) -> VerifyReport:
         """Integrity-sweep every entry; quarantine the corrupt ones.

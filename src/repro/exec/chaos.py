@@ -29,6 +29,17 @@ Enable from the environment (picked up by
 Knobs: ``kill`` / ``hang`` / ``delay`` / ``dup`` / ``corrupt``
 (probabilities), ``seed`` (int), ``delay_max`` / ``hang_seconds``
 (seconds). ``REPRO_CHAOS=0`` (or unset) disables injection entirely.
+
+The distributed sweep service (:mod:`repro.serve`) adds *network*
+fault sites between the server and its remote workers: any protocol
+message may be dropped, duplicated or delayed, each decided purely in
+``(seed, site, message key, attempt)`` like every other fault. Knobs:
+``net_drop`` / ``net_dup`` / ``net_delay`` (probabilities) and
+``net_delay_max`` (seconds). A dropped job assignment or result is
+indistinguishable from a lost worker — the server's deadline/watchdog
+machinery re-shards the job, and the headline invariant still holds:
+the sweep's results are byte-identical to a fault-free single-host run
+(``tests/test_serve.py``).
 """
 
 from __future__ import annotations
@@ -76,6 +87,16 @@ class ChaosConfig:
     #: How long a hung worker sleeps; the watchdog (or the per-job
     #: timeout) is expected to reap it long before this elapses.
     hang_seconds: float = 3600.0
+    #: Probability a server<->worker protocol message is dropped on the
+    #: floor (the sender believes it was sent; nobody receives it).
+    net_drop_p: float = 0.0
+    #: Probability a server<->worker protocol message is delivered twice.
+    net_dup_p: float = 0.0
+    #: Probability a server<->worker protocol message is delayed by up
+    #: to ``net_delay_max`` seconds before delivery.
+    net_delay_p: float = 0.0
+    #: Upper bound of an injected network delay, seconds.
+    net_delay_max: float = 0.05
 
     # ------------------------------------------------------------------
     @property
@@ -84,7 +105,17 @@ class ChaosConfig:
         return any(
             p > 0.0
             for p in (self.kill_p, self.hang_p, self.delay_p, self.dup_p,
-                      self.corrupt_p)
+                      self.corrupt_p, self.net_drop_p, self.net_dup_p,
+                      self.net_delay_p)
+        )
+
+    @property
+    def net_enabled(self) -> bool:
+        """Whether any *network* fault site is active (the protocol
+        layer checks this before paying per-frame RNG draws)."""
+        return any(
+            p > 0.0
+            for p in (self.net_drop_p, self.net_dup_p, self.net_delay_p)
         )
 
     @classmethod
@@ -106,6 +137,8 @@ class ChaosConfig:
         aliases = {
             "kill": "kill_p", "hang": "hang_p", "delay": "delay_p",
             "dup": "dup_p", "corrupt": "corrupt_p",
+            "net_drop": "net_drop_p", "net_dup": "net_dup_p",
+            "net_delay": "net_delay_p",
         }
         known = {f.name: f for f in fields(cls)}
         kwargs: dict[str, object] = {}
@@ -161,6 +194,34 @@ class ChaosConfig:
     def should_duplicate(self, job_hash: str, attempt: int) -> bool:
         """Whether the worker delivers its result twice."""
         return self._u("dup", job_hash, attempt) < self.dup_p
+
+    # ------------------------------------------------------------------
+    # network sites (repro.serve server <-> worker messages)
+    # ------------------------------------------------------------------
+    def net_fault(self, site: str, key: str, attempt: int) -> str | None:
+        """None, or what happens to this protocol message: "drop" (never
+        delivered) or "dup" (delivered twice).
+
+        ``site`` names the link direction (e.g. ``serve-dispatch``,
+        ``serve-result``); ``key``/``attempt`` identify the message so
+        a retried attempt draws fresh faults and eventually gets
+        through (drop probability ``p`` -> terminal-loss probability
+        ``p**(retries+1)``, same shape as worker kills).
+        """
+        u = self._u("net", site, key, attempt)
+        if u < self.net_drop_p:
+            return "drop"
+        if u < self.net_drop_p + self.net_dup_p:
+            return "dup"
+        return None
+
+    def net_delay(self, site: str, key: str, attempt: int) -> float:
+        """Injected delivery delay (seconds) for one protocol message;
+        0 = deliver immediately."""
+        if self._u("net-delay", site, key, attempt) >= self.net_delay_p:
+            return 0.0
+        return (self._u("net-delay-len", site, key, attempt)
+                * self.net_delay_max)
 
     def cache_fault(self, key: str) -> str | None:
         """None, or how the entry write for ``key`` is damaged:

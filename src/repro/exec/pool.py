@@ -3,10 +3,13 @@
 :func:`execute_jobs` is the single entry point every sweep, figure
 driver and benchmark routes through. It
 
-* replays any previously-journalled results first (``resume``), then
-  consults the :class:`~repro.exec.cache.ResultCache` (when one is
-  configured), so an interrupted or warm rerun performs zero
-  re-simulation of completed grid points;
+* drives a :class:`~repro.exec.ledger.JobLedger` — the transport-
+  agnostic job-lifecycle state machine shared with the distributed
+  sweep service (:mod:`repro.serve`) — which replays any previously-
+  journalled results first (``resume``), then consults the
+  :class:`~repro.exec.cache.ResultCache` (when one is configured), so
+  an interrupted or warm rerun performs zero re-simulation of
+  completed grid points;
 * runs the remaining jobs either in-process (``jobs=1``, a single
   pending job, or a platform without ``fork``) or on a farm of forked
   worker processes, scheduling **longest job first** so one straggler
@@ -23,7 +26,11 @@ driver and benchmark routes through. It
   delay/duplication, cache corruption) from a seeded
   :class:`~repro.exec.chaos.ChaosConfig` — the test-enforced invariant
   is that a chaotic run's results are byte-identical to a fault-free
-  run's.
+  run's;
+* ships the whole batch to a remote sweep server instead when
+  ``ExecutorConfig.server`` (or ``REPRO_SERVER``) names one — same
+  results, same report, computed by the worker fleet attached to that
+  server (see ``docs/distributed.md``).
 
 Determinism: workers only ever *compute* — each job is an independent
 pure function of its content (see :mod:`repro.exec.jobs`), results are
@@ -43,7 +50,7 @@ import atexit
 import multiprocessing
 import os
 import threading
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
@@ -56,6 +63,25 @@ from repro.exec.cache import ResultCache, default_cache_dir
 from repro.exec.chaos import CHAOS_EXIT_CODE, ChaosConfig, ChaosError
 from repro.exec.jobs import JobResult, SimJob
 from repro.exec.journal import RunJournal, derive_run_id, journal_dir_from_env
+from repro.exec.ledger import (
+    ExecProgress,
+    ExecReport,
+    JobFailure,
+    JobLedger,
+    ProgressFn,
+)
+
+__all__ = [
+    "ExecProgress",
+    "ExecReport",
+    "ExecutionError",
+    "ExecutorConfig",
+    "JobFailure",
+    "ProgressFn",
+    "execute_jobs",
+    "fork_available",
+    "live_worker_count",
+]
 
 #: Poll interval for the farm's event loop (seconds). Workers signal
 #: completion through pipes, so this only bounds timeout/watchdog
@@ -85,7 +111,9 @@ class ExecutorConfig:
     """How a grid should be executed.
 
     ``jobs=1`` (the default) runs in-process with no behavioural change
-    from the historical serial path; ``jobs>1`` forks worker processes.
+    from the historical serial path; ``jobs>1`` forks worker processes;
+    ``server=...`` ships the batch to a :mod:`repro.serve` sweep server
+    instead of executing locally.
     """
 
     jobs: int = 1
@@ -122,6 +150,11 @@ class ExecutorConfig:
     #: workloads where individual failures are data, not errors —
     #: mutation analysis treats a crashing mutant as a kill.
     tolerate_failures: bool = False
+    #: Base URL of a ``repro.serve`` sweep server (``http://host:port``).
+    #: When set, the batch is submitted there and executed by the
+    #: server's worker fleet; ``jobs``/``timeout``/``watchdog`` become
+    #: server-side concerns. See docs/distributed.md.
+    server: str | None = None
 
     @classmethod
     def from_env(cls, default_cache: bool = False) -> "ExecutorConfig":
@@ -134,7 +167,8 @@ class ExecutorConfig:
         the run journal; ``REPRO_RESUME=1`` resumes from it;
         ``REPRO_CHAOS`` configures fault injection (see
         :mod:`repro.exec.chaos`); ``REPRO_WATCHDOG`` overrides the hung
-        -worker grace in seconds (``0`` disables).
+        -worker grace in seconds (``0`` disables); ``REPRO_SERVER``
+        routes execution to a remote sweep server.
         """
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
         cache_flag = os.environ.get("REPRO_CACHE")
@@ -153,58 +187,12 @@ class ExecutorConfig:
             resume=os.environ.get("REPRO_RESUME", "0") not in ("", "0"),
             chaos=ChaosConfig.from_env(),
             watchdog=watchdog,
+            server=os.environ.get("REPRO_SERVER", "").strip() or None,
         )
 
     def with_cache_dir(self, cache_dir: str | Path | None) -> "ExecutorConfig":
         """Copy with a different cache root (benchmarks, tests)."""
         return replace(self, cache_dir=cache_dir)
-
-
-@dataclass(slots=True)
-class ExecReport:
-    """Counts accumulated over one :func:`execute_jobs` call."""
-
-    total: int = 0
-    #: Jobs satisfied from the result cache without simulating.
-    cached: int = 0
-    #: Jobs replayed from a prior run's journal without simulating.
-    resumed: int = 0
-    #: Jobs actually simulated (in-process or in a worker).
-    simulated: int = 0
-    #: Jobs that exhausted their retry budget.
-    failed: int = 0
-    #: Crashed/hung/timed-out attempts that were retried.
-    retried: int = 0
-    #: Journal id of this run; None when journalling is off.
-    run_id: str | None = None
-    #: Terminal :class:`JobFailure` records, in resolution order.
-    #: Raised inside :class:`ExecutionError` normally; the caller's to
-    #: inspect under ``tolerate_failures``.
-    job_failures: list = field(default_factory=list)
-
-    @property
-    def completed(self) -> int:
-        """Jobs resolved so far (cached + resumed + simulated + failed)."""
-        return self.cached + self.resumed + self.simulated + self.failed
-
-
-@dataclass(frozen=True, slots=True)
-class ExecProgress:
-    """One progress event: the job that just resolved, plus counts."""
-
-    job: SimJob
-    payload: JobResult | None
-    #: "cached" | "resumed" | "simulated" | "failed"
-    outcome: str
-    report: ExecReport
-
-
-@dataclass(frozen=True, slots=True)
-class JobFailure:
-    """Terminal failure of one job after retries."""
-
-    job: SimJob
-    message: str
 
 
 class ExecutionError(RuntimeError):
@@ -218,9 +206,6 @@ class ExecutionError(RuntimeError):
         for f in self.failures:
             lines.append(f"  {f.job.describe()}: {f.message}")
         super().__init__("\n".join(lines))
-
-
-ProgressFn = Callable[[ExecProgress], None]
 
 
 def fork_available() -> bool:
@@ -248,102 +233,68 @@ def execute_jobs(jobs: Sequence[SimJob],
     exactly the incomplete remainder.
     """
     cfg = executor if executor is not None else ExecutorConfig()
+    if cfg.server is not None:
+        # Remote execution: the sweep server's ledger does the
+        # journalling/caching server-side; imported lazily so local
+        # execution never pays for the client.
+        from repro.serve.client import execute_remote
+
+        results, report = execute_remote(jobs, cfg.server,
+                                         progress=progress)
+        if report.job_failures and not cfg.tolerate_failures:
+            raise ExecutionError(report.job_failures, report)
+        if cfg.tolerate_failures:
+            return list(results), report
+        return [r for r in results if r is not None], report
+
     cache = (ResultCache(cfg.cache_dir, chaos=cfg.chaos)
              if cfg.cache_dir is not None else None)
-    report = ExecReport(total=len(jobs))
-    results: list[JobResult | None] = [None] * len(jobs)
-    failures = report.job_failures
     hashes = [job.content_hash() for job in jobs]
-
     journal: RunJournal | None = None
     if cfg.journal_dir is not None:
         run_id = cfg.run_id or derive_run_id(hashes)
         journal = RunJournal(cfg.journal_dir, run_id, resume=cfg.resume)
-        report.run_id = run_id
 
-    def _emit(job: SimJob, payload: JobResult | None, outcome: str) -> None:
-        if progress is not None:
-            progress(ExecProgress(
-                job=job, payload=payload, outcome=outcome, report=report
-            ))
-
+    ledger = JobLedger(
+        jobs, hashes=hashes, cache=cache, journal=journal,
+        resume=cfg.resume, retries=cfg.retries, progress=progress,
+    )
     try:
-        replayed = (journal.completed_results()
-                    if journal is not None and cfg.resume else {})
-        if journal is not None:
-            journal.record("run-start", run_id=report.run_id,
-                           total=len(jobs), resume=cfg.resume,
-                           schema=1)
-            for job, job_hash in zip(jobs, hashes):
-                journal.record_queued(job, job_hash)
-
-        # -- 1. journal replay, then warm-cache pass -------------------
-        pending: list[int] = []
-        for idx, job in enumerate(jobs):
-            prior = replayed.get(hashes[idx])
-            if prior is not None:
-                results[idx] = prior
-                report.resumed += 1
-                if journal is not None:
-                    journal.record("resumed", hashes[idx])
-                _emit(job, prior, "resumed")
-                continue
-            # The disk cache's schema is SimJob/JobResult-shaped; other
-            # job kinds bring their own store (see WorkJob docstring).
-            hit = (cache.get(job)
-                   if cache is not None and isinstance(job, SimJob)
-                   else None)
-            if hit is not None:
-                results[idx] = hit
-                report.cached += 1
-                if journal is not None:
-                    journal.record("cached", hashes[idx])
-                _emit(job, hit, "cached")
-            else:
-                pending.append(idx)
-
-        # -- 2. simulate what's left -----------------------------------
+        pending = ledger.open()
         use_processes = (
             cfg.jobs > 1 and len(pending) > 1 and fork_available()
         )
         runner = _run_in_processes if use_processes else _run_in_process
-        runner(jobs, hashes, pending, cfg, cache, results, report,
-               failures, _emit, journal)
-
-        if journal is not None:
-            journal.record(
-                "run-end", cached=report.cached, resumed=report.resumed,
-                simulated=report.simulated, failed=report.failed,
-                retried=report.retried,
-            )
+        runner(pending, cfg, ledger)
+        ledger.summarize()
     finally:
-        if journal is not None:
-            journal.close()
+        ledger.close()
 
-    if failures and not cfg.tolerate_failures:
-        raise ExecutionError(failures, report)
+    report = ledger.report
+    if report.job_failures and not cfg.tolerate_failures:
+        raise ExecutionError(report.job_failures, report)
     if cfg.tolerate_failures:
         # Positional: one slot per input job, None where it failed.
-        return list(results), report
-    return [r for r in results if r is not None], report
+        return list(ledger.results), report
+    return [r for r in ledger.results if r is not None], report
 
 
 # ----------------------------------------------------------------------
 # in-process execution (jobs=1, single pending job, or fork-less host)
 # ----------------------------------------------------------------------
-def _run_in_process(jobs, hashes, pending, cfg, cache, results, report,
-                    failures, emit, journal) -> None:
+def _run_in_process(pending, cfg, ledger: JobLedger) -> None:
     # Submission order is preserved so callers see progress stream in
     # grid order; timeouts cannot be enforced without a worker process.
     # Chaos kills become raised ChaosErrors here — there is no worker
     # process to sacrifice, but the retry path is exercised identically.
+    jobs, hashes = ledger.jobs, ledger.hashes
     for idx in pending:
         job = jobs[idx]
         job_hash = hashes[idx]
         payload = None
-        for attempt in range(cfg.retries + 1):
-            if journal is not None:
-                journal.record("started", job_hash, attempt=attempt)
+        attempt = 0
+        while True:
+            ledger.start(idx, attempt)
             try:
                 if cfg.chaos is not None and cfg.chaos.should_kill(
                     job_hash, attempt
@@ -352,32 +303,17 @@ def _run_in_process(jobs, hashes, pending, cfg, cache, results, report,
                 payload = job.run()
                 break
             except KeyboardInterrupt:
-                if journal is not None:
-                    journal.record("interrupted", job_hash)
+                ledger.interrupt(idx)
                 raise
             except Exception as exc:  # noqa: BLE001 - reported to caller
                 message = f"{type(exc).__name__}: {exc}"
-                if attempt < cfg.retries:
-                    report.retried += 1
-                    if journal is not None:
-                        journal.record("retried", job_hash,
-                                       attempt=attempt, error=message)
+                if ledger.retry(idx, attempt, message):
+                    attempt += 1
                     continue
-                failures.append(JobFailure(job=job, message=message))
-        if payload is None:
-            report.failed += 1
-            if journal is not None:
-                journal.record("failed", job_hash,
-                               error=failures[-1].message)
-            emit(job, None, "failed")
-            continue
-        if cache is not None and isinstance(payload, JobResult):
-            cache.put(job, payload)
-        results[idx] = payload
-        report.simulated += 1
-        if journal is not None:
-            journal.record_done(job_hash, payload)
-        emit(job, payload, "simulated")
+                ledger.fail(idx, message)
+                break
+        if payload is not None:
+            ledger.complete(idx, payload)
 
 
 # ----------------------------------------------------------------------
@@ -476,9 +412,9 @@ class _Running:
     done: bool = field(default=False)
 
 
-def _run_in_processes(jobs, hashes, pending, cfg, cache, results, report,
-                      failures, emit, journal) -> None:
+def _run_in_processes(pending, cfg, ledger: JobLedger) -> None:
     ctx = multiprocessing.get_context("fork")
+    jobs, hashes = ledger.jobs, ledger.hashes
     # Longest job first: dispatch the expensive grid points before the
     # cheap ones so the final workers drain short tails, minimising
     # makespan (classic LPT list scheduling).
@@ -511,8 +447,7 @@ def _run_in_processes(jobs, hashes, pending, cfg, cache, results, report,
             idx=idx, attempt=attempt, proc=proc, conn=recv, hb=hb_recv,
             started=now, last_beat=now,
         ))
-        if journal is not None:
-            journal.record("started", hashes[idx], attempt=attempt)
+        ledger.start(idx, attempt)
 
     def _close_slot(slot: _Running, forced: bool) -> None:
         slot.conn.close()
@@ -528,29 +463,13 @@ def _run_in_processes(jobs, hashes, pending, cfg, cache, results, report,
     def _finish(slot: _Running, payload: JobResult | None,
                 error: str | None, forced: bool = False) -> None:
         _close_slot(slot, forced)
-        job = jobs[slot.idx]
-        job_hash = hashes[slot.idx]
         if payload is not None:
-            if cache is not None and isinstance(payload, JobResult):
-                cache.put(job, payload)
-            results[slot.idx] = payload
-            report.simulated += 1
-            if journal is not None:
-                journal.record_done(job_hash, payload)
-            emit(job, payload, "simulated")
+            ledger.complete(slot.idx, payload)
             return
-        if slot.attempt < cfg.retries:
-            report.retried += 1
-            if journal is not None:
-                journal.record("retried", job_hash, attempt=slot.attempt,
-                               error=error)
+        if ledger.retry(slot.idx, slot.attempt, error):
             _spawn(slot.idx, slot.attempt + 1)
             return
-        failures.append(JobFailure(job=job, message=error or "worker died"))
-        report.failed += 1
-        if journal is not None:
-            journal.record("failed", job_hash, error=error)
-        emit(job, None, "failed")
+        ledger.fail(slot.idx, error)
 
     try:
         while queue or running:
@@ -618,8 +537,6 @@ def _run_in_processes(jobs, hashes, pending, cfg, cache, results, report,
             if slot.hb is not None:
                 slot.hb.close()
             _reap(slot.proc)
-            if journal is not None:
-                journal.record("interrupted", hashes[slot.idx],
-                               attempt=slot.attempt)
+            ledger.interrupt(slot.idx, slot.attempt)
         running.clear()
         raise

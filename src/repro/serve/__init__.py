@@ -1,0 +1,79 @@
+"""Distributed sweep service: job server, sharded workers, shared cache.
+
+The grid executor (:mod:`repro.exec`) made sweeps parallel on one
+host; this subsystem makes them parallel across *hosts* while keeping
+every guarantee the single-host path earned — content-addressed dedup,
+byte-identical results, crash-safe journalling, chaos-survivable
+execution:
+
+* :mod:`repro.serve.server`   — :class:`SweepServer`, the asyncio
+  HTTP/JSON job server: accepts grid submissions, dedups jobs across
+  concurrent sweeps by content hash, shards them over attached
+  workers, streams per-sweep NDJSON progress;
+* :mod:`repro.serve.worker`   — :class:`WorkerAgent`, the remote
+  worker: rebuilds jobs from fingerprints, executes, ships
+  checksummed results;
+* :mod:`repro.serve.policy`   — pluggable :class:`AllocationPolicy`
+  (consistent hash ring by default; least-loaded and LJF variants) —
+  all placement-only, never result-affecting;
+* :mod:`repro.serve.protocol` / :mod:`repro.serve.http` — the NDJSON
+  frame protocol (with deterministic network-fault injection) and the
+  minimal stdlib HTTP layer;
+* :mod:`repro.serve.client`   — the synchronous client;
+  ``ExecutorConfig(server=...)`` (or ``REPRO_SERVER``) routes any
+  existing sweep through it unchanged;
+* :mod:`repro.serve.cluster`  — :class:`LocalCluster`, the loopback
+  server+workers harness used by tests, CI and ``make serve-smoke``.
+
+The test-enforced headline invariant: a sweep executed by this service
+— with worker churn, dropped/duplicated/delayed messages and worker
+kills injected — completes with results byte-identical to a fault-free
+single-host :func:`repro.exec.execute_jobs` run, and a repeat
+submission simulates nothing. See docs/distributed.md.
+"""
+
+from repro.serve.client import (
+    ServerError,
+    cache_stats,
+    execute_remote,
+    fetch_results,
+    resume_remote,
+    stream_events,
+    submit,
+)
+from repro.serve.cluster import LocalCluster
+from repro.serve.policy import (
+    POLICIES,
+    AllocationPolicy,
+    HashRingPolicy,
+    LeastLoadedPolicy,
+    LJFPolicy,
+    WorkerView,
+    make_policy,
+    ring_assign,
+)
+from repro.serve.server import Sweep, SweepServer
+from repro.serve.worker import WorkerAgent, run_worker
+
+__all__ = [
+    "POLICIES",
+    "AllocationPolicy",
+    "HashRingPolicy",
+    "LJFPolicy",
+    "LeastLoadedPolicy",
+    "LocalCluster",
+    "ServerError",
+    "Sweep",
+    "SweepServer",
+    "WorkerAgent",
+    "WorkerView",
+    "cache_stats",
+    "execute_remote",
+    "fetch_results",
+    "make_policy",
+    "resume_remote",
+    "ring_assign",
+    "run_worker",
+    "stream_events",
+    "submit",
+]

@@ -1,0 +1,230 @@
+"""``python -m repro.serve`` — server, worker, submit, smoke.
+
+Usage::
+
+    python -m repro.serve server --port 8742 --cache-dir results/cache \\
+        --journal-dir results/journal --policy hash-ring
+
+    python -m repro.serve worker --connect http://host:8742 --slots 2
+
+    python -m repro.serve submit --server http://host:8742 \\
+        --threads 2 --schedulers traditional,2op_ooo --iq-sizes 8,16
+
+    python -m repro.serve smoke --workers 2       # golden-match check
+
+``smoke`` is the distributed analogue of ``python -m repro.exec
+chaos-smoke``: it runs a small grid on a single host (the golden), then
+cold and warm through a loopback cluster, and fails unless the cluster
+results are byte-identical to the golden and the warm re-submission
+simulates nothing. ``REPRO_CHAOS`` (including the ``net_*`` knobs)
+applies to the cluster run, making this a one-command fault drill.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.exec.chaos import ChaosConfig
+from repro.exec.pool import ExecutorConfig, execute_jobs
+from repro.serve.policy import POLICIES
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import SweepServer
+
+    server = SweepServer(
+        host=args.host, port=args.port,
+        cache_dir=args.cache_dir, journal_dir=args.journal_dir,
+        policy=args.policy, retries=args.retries,
+        timeout=args.timeout, heartbeat_grace=args.heartbeat_grace,
+        chaos=ChaosConfig.from_env(),
+        rotate_bytes=args.rotate_bytes,
+    )
+
+    async def _serve() -> None:
+        port = await server.start()
+        print(f"sweep server listening on http://{args.host}:{port} "
+              f"(policy={server.policy.name}, "
+              f"cache={args.cache_dir or 'off'}, "
+              f"journal={args.journal_dir or 'off'})")
+        assert server._server is not None
+        async with server._server:
+            await server._server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # repro: noqa[RPR007] — Ctrl-C is the
+        pass                   # server's normal shutdown path
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.serve.worker import run_worker
+
+    run_worker(args.connect, slots=args.slots, name=args.name,
+               chaos=ChaosConfig.from_env())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import fetch_results, stream_events, submit
+
+    grid = {
+        "profile": args.profile,
+        "threads": args.threads,
+        "schedulers": args.schedulers.split(","),
+        "iq_sizes": [int(q) for q in args.iq_sizes.split(",")],
+        "max_insns": args.insns,
+        "seed": args.seed,
+    }
+    reply = submit(args.server, {"grid": grid})
+    sweep_id = reply["sweep"]
+    print(f"sweep {sweep_id}: {reply['total']} job(s), "
+          f"status {reply['status']}"
+          f"{' (attached to in-flight run)' if reply['attached'] else ''}")
+    for event in stream_events(args.server, sweep_id):
+        kind = event.get("event")
+        if kind in ("cached", "resumed", "simulated", "failed"):
+            print(f"  [{event['completed']}/{event['total']}] "
+                  f"{kind}: {event['job'][:16]}")
+    _, report = fetch_results(args.server, sweep_id)
+    print(f"done: {report.simulated} simulated, {report.cached} cached, "
+          f"{report.resumed} resumed, {report.failed} failed, "
+          f"{report.retried} retried")
+    return 1 if report.failed else 0
+
+
+def _smoke_jobs(insns: int) -> list:
+    from repro.config.presets import small_machine
+    from repro.exec.jobs import jobs_for_grid
+    from repro.workloads.mixes import TWO_THREAD_MIXES
+
+    keyed = jobs_for_grid(
+        TWO_THREAD_MIXES[:2], small_machine(),
+        ("traditional", "2op_ooo"), (8, 16), insns, 0,
+    )
+    return [job for _, job in keyed]
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """Golden-match smoke across a loopback cluster (cold + warm)."""
+    from repro.serve.client import execute_remote
+    from repro.serve.cluster import LocalCluster
+
+    jobs = _smoke_jobs(args.insns)
+    golden, _ = execute_jobs(jobs, ExecutorConfig(jobs=1))
+
+    chaos = ChaosConfig.from_env()
+    with tempfile.TemporaryDirectory() as cache_dir, \
+            tempfile.TemporaryDirectory() as journal_dir, \
+            LocalCluster(
+                workers=args.workers, cache_dir=cache_dir,
+                journal_dir=journal_dir, policy=args.policy,
+                # A dropped dispatch frame is only recovered by the
+                # per-job deadline, so keep it tight: smoke jobs run in
+                # well under a second each.
+                retries=8, timeout=10.0, heartbeat_grace=2.0,
+                chaos=chaos, respawn=chaos is not None,
+            ) as cluster:
+        cold, cold_report = execute_remote(jobs, cluster.url)
+        warm, warm_report = execute_remote(jobs, cluster.url)
+
+    if [p.result for p in cold] != [p.result for p in golden]:
+        print("serve smoke FAILED: cluster results differ from the "
+              "single-host golden run", file=sys.stderr)
+        return 1
+    if [p.result for p in warm] != [p.result for p in golden]:
+        print("serve smoke FAILED: warm re-submission results differ "
+              "from the golden run", file=sys.stderr)
+        return 1
+    if warm_report.simulated != 0:
+        print(f"serve smoke FAILED: warm re-submission simulated "
+              f"{warm_report.simulated} job(s); expected 0",
+              file=sys.stderr)
+        return 1
+    faults = ""
+    if chaos is not None:
+        faults = (f" under chaos (seed={chaos.seed}, "
+                  f"kill={chaos.kill_p:g}, net_drop={chaos.net_drop_p:g}, "
+                  f"net_dup={chaos.net_dup_p:g}, "
+                  f"net_delay={chaos.net_delay_p:g})")
+    print(
+        f"ok: {cold_report.total}-point grid on {args.workers} "
+        f"worker(s) via {args.policy}{faults} — cold run simulated "
+        f"{cold_report.simulated} ({cold_report.retried} retried), "
+        f"warm re-submission simulated 0, both byte-identical to the "
+        "single-host golden run"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="distributed sweep service "
+                    "(see docs/distributed.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("server", help="run the sweep server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8742)
+    p.add_argument("--cache-dir", default=None,
+                   help="shared result-cache root (off when omitted)")
+    p.add_argument("--journal-dir", default=None,
+                   help="run-journal root (off when omitted; required "
+                        "for resume)")
+    p.add_argument("--policy", choices=sorted(POLICIES),
+                   default="hash-ring")
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-job deadline before re-dispatch, seconds")
+    p.add_argument("--heartbeat-grace", type=float, default=5.0)
+    p.add_argument("--rotate-bytes", type=int, default=4 * 1024 * 1024,
+                   help="journal size-rotation threshold")
+
+    p = sub.add_parser("worker", help="attach a worker agent")
+    p.add_argument("--connect", required=True,
+                   help="server URL, e.g. http://host:8742")
+    p.add_argument("--slots", type=int, default=1,
+                   help="concurrent jobs this worker runs")
+    p.add_argument("--name", default=None)
+
+    p = sub.add_parser("submit", help="submit a grid and stream "
+                                      "progress")
+    p.add_argument("--server", required=True)
+    p.add_argument("--profile", choices=["paper", "small", "tiny"],
+                   default="small")
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument("--schedulers", default="traditional,2op_ooo")
+    p.add_argument("--iq-sizes", default="8,16")
+    p.add_argument("--insns", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "smoke",
+        help="assert a loopback-cluster sweep matches the single-host "
+             "golden run (cold and warm)",
+    )
+    p.add_argument("--insns", type=int, default=400)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--policy", choices=sorted(POLICIES),
+                   default="hash-ring")
+
+    args = parser.parse_args(argv)
+    if args.command == "server":
+        return _cmd_server(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    return _cmd_smoke(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

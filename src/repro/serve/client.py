@@ -1,0 +1,226 @@
+"""Synchronous client for the sweep server.
+
+This is the glue that makes remote execution invisible to callers:
+:func:`execute_remote` has the same contract as the local half of
+:func:`repro.exec.pool.execute_jobs` — submit the batch, stream
+progress, fetch ordered results, return ``(payloads, ExecReport)`` —
+so setting ``ExecutorConfig(server=...)`` (or ``REPRO_SERVER``) is the
+*only* change a sweep, figure driver or benchmark needs to run on a
+cluster.
+
+Built on stdlib ``http.client`` (the callers are synchronous; no
+event loop to integrate with). Each call is one request; the event
+stream holds its connection open and yields NDJSON records until the
+server reports ``sweep-end``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.exec.jobs import JobResult
+from repro.exec.ledger import (
+    ExecProgress,
+    ExecReport,
+    JobFailure,
+    ProgressFn,
+)
+from repro.serve.worker import parse_server_url
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error status (or not at all)."""
+
+
+@dataclass(frozen=True, slots=True)
+class _RemoteJob:
+    """Stand-in for a job that failed server-side: all the caller can
+    know (and all :class:`~repro.exec.pool.ExecutionError` needs) is
+    its description."""
+
+    description: str
+
+    def describe(self) -> str:
+        return self.description
+
+
+def _request(server: str, method: str, path: str,
+             payload: object | None = None,
+             timeout: float | None = None) -> dict:
+    host, port = parse_server_url(server)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":"))
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        data = resp.read()
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServerError(
+                f"{method} {path}: non-JSON response "
+                f"(status {resp.status}): {data[:200]!r}"
+            ) from exc
+        if resp.status >= 400:
+            message = (decoded.get("error", data[:200])
+                       if isinstance(decoded, dict) else data[:200])
+            raise ServerError(f"{method} {path}: {resp.status} {message}")
+        if not isinstance(decoded, dict):
+            raise ServerError(f"{method} {path}: expected an object")
+        return decoded
+    except (ConnectionError, OSError, http.client.HTTPException) as exc:
+        raise ServerError(
+            f"{method} {path}: cannot reach sweep server at "
+            f"{server}: {exc}"
+        ) from exc
+    finally:
+        conn.close()
+
+
+def submit(server: str, payload: dict) -> dict:
+    """POST one submission (``jobs``/``grid``/``resume`` vocabulary);
+    returns the server's ``{"sweep": ..., "status": ...}`` reply."""
+    return _request(server, "POST", "/v1/sweeps", payload)
+
+
+def sweep_status(server: str, sweep_id: str) -> dict:
+    return _request(server, "GET", f"/v1/sweeps/{sweep_id}")
+
+
+def cache_stats(server: str) -> dict:
+    """The server's shared-cache report (same structure as
+    ``python -m repro.exec cache stats --json``)."""
+    return _request(server, "GET", "/v1/cache")
+
+
+def stream_events(server: str, sweep_id: str,
+                  timeout: float | None = None) -> Iterator[dict]:
+    """Yield the sweep's NDJSON progress events; ends after
+    ``sweep-end`` (or on server EOF)."""
+    host, port = parse_server_url(server)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", f"/v1/sweeps/{sweep_id}/events")
+        resp = conn.getresponse()
+        if resp.status != 200:
+            raise ServerError(
+                f"GET /v1/sweeps/{sweep_id}/events: {resp.status}"
+            )
+        buf = b""
+        while True:
+            chunk = resp.read1(64 * 1024)
+            if not chunk:
+                return
+            buf += chunk
+            while b"\n" in buf:
+                line, _, buf = buf.partition(b"\n")
+                if not line.strip():
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("event") == "sweep-end":
+                    return
+    except (ConnectionError, OSError, http.client.HTTPException) as exc:
+        raise ServerError(
+            f"event stream for sweep {sweep_id} broke: {exc}"
+        ) from exc
+    finally:
+        conn.close()
+
+
+def _decode_body(entry: dict) -> object:
+    from repro.exec.cache import decode_job_result
+
+    if entry.get("body_kind", "sim") == "sim":
+        return decode_job_result(entry["body"])
+    return entry["body"]
+
+
+def _report_from_dict(raw: dict) -> ExecReport:
+    report = ExecReport(
+        total=int(raw.get("total", 0)),
+        cached=int(raw.get("cached", 0)),
+        resumed=int(raw.get("resumed", 0)),
+        simulated=int(raw.get("simulated", 0)),
+        failed=int(raw.get("failed", 0)),
+        retried=int(raw.get("retried", 0)),
+        run_id=raw.get("run_id"),
+    )
+    for failure in raw.get("failures", []):
+        report.job_failures.append(JobFailure(
+            job=_RemoteJob(str(failure.get("job", "?"))),
+            message=str(failure.get("message", "failed remotely")),
+        ))
+    return report
+
+
+def fetch_results(server: str, sweep_id: str,
+                  ) -> tuple[list[object | None], ExecReport]:
+    """Ordered (positional) decoded results + final report of a
+    finished sweep."""
+    reply = _request(server, "GET", f"/v1/sweeps/{sweep_id}/results")
+    results: list[object | None] = []
+    for entry in reply.get("results", []):
+        results.append(None if entry is None else _decode_body(entry))
+    return results, _report_from_dict(reply.get("report", {}))
+
+
+def execute_remote(jobs, server: str,
+                   progress: ProgressFn | None = None,
+                   ) -> tuple[list[object | None], ExecReport]:
+    """Run a batch on a sweep server; local-executor-shaped return.
+
+    Results come back positionally (one slot per job, None where it
+    failed terminally), decoded through the byte-stable codec — so a
+    remote sweep is indistinguishable from a local one to the caller.
+    """
+    jobs = list(jobs)
+    fingerprints = [job.fingerprint_payload() for job in jobs]
+    reply = submit(server, {"jobs": fingerprints})
+    sweep_id = str(reply["sweep"])
+
+    if progress is not None:
+        by_hash = {job.content_hash(): job for job in jobs}
+        running = ExecReport(total=len(jobs), run_id=sweep_id)
+        for event in stream_events(server, sweep_id):
+            kind = event.get("event")
+            if kind not in ("cached", "resumed", "simulated", "failed"):
+                continue
+            setattr(running, kind,
+                    getattr(running, kind) + 1)
+            payload: object | None = None
+            if "body" in event:
+                payload = _decode_body(event)
+            job = by_hash.get(str(event.get("job", "")))
+            if job is None:
+                continue
+            progress(ExecProgress(
+                job=job,
+                payload=(payload if isinstance(payload, JobResult)
+                         else None),
+                outcome=str(kind),
+                report=running,
+            ))
+    else:
+        for _ in stream_events(server, sweep_id):
+            pass
+
+    return fetch_results(server, sweep_id)
+
+
+def resume_remote(server: str, run_id: str,
+                  ) -> tuple[list[object | None], ExecReport]:
+    """Ask the server to resume an interrupted run from its journal."""
+    reply = submit(server, {"resume": run_id})
+    sweep_id = str(reply["sweep"])
+    for _ in stream_events(server, sweep_id):
+        pass
+    return fetch_results(server, sweep_id)

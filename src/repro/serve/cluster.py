@@ -1,0 +1,169 @@
+"""In-process cluster harness: one server, N forked loopback workers.
+
+The smoke command, CI and the test suite all need a real distributed
+topology — separate worker *processes* talking to a real socket server
+— without any deployment machinery. :class:`LocalCluster` provides it
+as a context manager::
+
+    with LocalCluster(workers=2, cache_dir=..., journal_dir=...) as c:
+        results, report = execute_remote(jobs, c.url)
+
+The server runs its own asyncio loop on a daemon thread; workers are
+forked processes (like the local farm's) each running a
+:class:`~repro.serve.worker.WorkerAgent` against the loopback address.
+With ``respawn=True`` a supervisor thread restarts any worker that
+dies — which is exactly what chaos worker-kills need: the replacement
+attaches under a fresh name, the hash ring re-shards, and the sweep
+still completes byte-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+from pathlib import Path
+from time import monotonic as _monotonic, sleep as _sleep  # repro: noqa[RPR001]
+
+from repro.exec.chaos import ChaosConfig
+from repro.serve.server import SweepServer
+from repro.serve.worker import run_worker
+
+#: How long __enter__ waits for the fleet to attach before failing.
+_ATTACH_TIMEOUT = 30.0
+
+#: Supervisor poll period for dead workers.
+_RESPAWN_POLL = 0.1
+
+
+def _worker_process(url: str, slots: int, name: str,
+                    chaos: ChaosConfig | None) -> None:
+    run_worker(url, slots=slots, name=name, chaos=chaos)
+
+
+class LocalCluster:
+    """Context manager owning a sweep server plus loopback workers."""
+
+    def __init__(self, workers: int = 2, *,
+                 slots: int = 1,
+                 cache_dir: str | Path | None = None,
+                 journal_dir: str | Path | None = None,
+                 policy: str = "hash-ring",
+                 retries: int = 8,
+                 timeout: float | None = 60.0,
+                 heartbeat_grace: float = 5.0,
+                 chaos: ChaosConfig | None = None,
+                 rotate_bytes: int | None = None,
+                 respawn: bool = False) -> None:
+        self.num_workers = workers
+        self.slots = slots
+        self.chaos = chaos
+        self.respawn = respawn
+        self.server = SweepServer(
+            cache_dir=cache_dir, journal_dir=journal_dir, policy=policy,
+            retries=retries, timeout=timeout,
+            heartbeat_grace=heartbeat_grace, chaos=chaos,
+            rotate_bytes=rotate_bytes,
+        )
+        self.url: str = ""
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._procs: list = []
+        self._spawned = 0
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self._spawned += 1
+        proc = ctx.Process(
+            target=_worker_process,
+            args=(self.url, self.slots, f"w{self._spawned}", self.chaos),
+            daemon=True,
+        )
+        proc.start()
+        self._procs.append(proc)
+
+    def _supervise(self) -> None:
+        """Respawn dead workers so chaos kills cause churn, not
+        starvation."""
+        while not self._stop.wait(_RESPAWN_POLL):
+            for proc in list(self._procs):
+                if not proc.is_alive():
+                    proc.join()
+                    self._procs.remove(proc)
+                    self._spawn_worker()
+
+    def _attached_workers(self) -> int:
+        assert self._loop is not None
+        fut = asyncio.run_coroutine_threadsafe(
+            _count_workers(self.server), self._loop
+        )
+        return fut.result(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "LocalCluster":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True,
+            name="sweep-server",
+        )
+        self._thread.start()
+        port = asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result(timeout=10.0)
+        self.url = f"http://127.0.0.1:{port}"
+        for _ in range(self.num_workers):
+            self._spawn_worker()
+        deadline = _monotonic() + _ATTACH_TIMEOUT
+        while self._attached_workers() < self.num_workers:
+            if _monotonic() > deadline:
+                self._teardown()
+                raise TimeoutError(
+                    f"only {self._attached_workers()} of "
+                    f"{self.num_workers} workers attached within "
+                    f"{_ATTACH_TIMEOUT:g}s"
+                )
+            _sleep(0.02)
+        if self.respawn:
+            self._supervisor = threading.Thread(
+                target=self._supervise, daemon=True,
+                name="worker-supervisor",
+            )
+            self._supervisor.start()
+        return self
+
+    def _teardown(self) -> None:
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join()
+            else:
+                proc.join()
+        self._procs.clear()
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            ).result(timeout=10.0)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+            self._loop.close()
+            self._loop = None
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._teardown()
+
+
+async def _count_workers(server: SweepServer) -> int:
+    # Runs on the server's loop, so reading its state is race-free.
+    return len(server.workers)

@@ -1,0 +1,172 @@
+"""Pluggable job-to-worker allocation policies.
+
+The server separates *what completes* from *where it runs*: every
+policy yields byte-identical sweep results (test-enforced), because a
+job's result depends only on its content, never its placement. Policies
+therefore only trade off locality and load balance:
+
+``hash-ring`` (default)
+    Consistent hashing with virtual nodes over the job's content hash.
+    Placement is a pure function of (job hash, live worker set): when a
+    worker joins or leaves, only the ~1/N of jobs that the ring maps to
+    the changed worker move — every other job keeps its owner. That
+    stability is what makes worker churn cheap (only the dead worker's
+    in-flight jobs re-shard) and is property-tested with hypothesis.
+
+``least-loaded``
+    Greedy: dispatch to the attached worker with the most free slots.
+    Best raw utilisation for heterogeneous job costs; placement depends
+    on timing, so no affinity across runs.
+
+``ljf``
+    Longest-job-first queue ordering (the single-host farm's
+    anti-straggler heuristic, see :func:`repro.exec.pool.execute_jobs`)
+    combined with least-loaded placement.
+
+Selection: ``python -m repro.serve server --policy NAME`` or
+:func:`make_policy`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: Virtual nodes per worker on the hash ring. More points smooth the
+#: per-worker share toward 1/N at the cost of ring size; 64 keeps the
+#: max/min share ratio under ~1.5 for small clusters.
+RING_REPLICAS = 64
+
+
+@dataclass(slots=True)
+class WorkerView:
+    """What a policy may know about one attached worker."""
+
+    name: str
+    #: Concurrent jobs the worker will run.
+    slots: int
+    #: Jobs currently dispatched to it and not yet resolved.
+    in_flight: int
+
+    @property
+    def free(self) -> int:
+        return self.slots - self.in_flight
+
+
+def _ring_point(label: str) -> int:
+    """Position of a label on the 64-bit ring (stable across runs and
+    platforms — plain sha256, no process-seeded hashing)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def ring_assign(job_hash: str, worker_names: Sequence[str],
+                replicas: int = RING_REPLICAS) -> str:
+    """Pure consistent-hash assignment: the ring owner of ``job_hash``
+    among ``worker_names``.
+
+    Exposed standalone so the stability property — adding a worker only
+    moves keys *to* the new worker; removing one only moves the removed
+    worker's keys — can be tested without a server.
+    """
+    if not worker_names:
+        raise ValueError("ring_assign needs at least one worker")
+    points: list[tuple[int, str]] = []
+    for name in worker_names:
+        for i in range(replicas):
+            points.append((_ring_point(f"{name}#{i}"), name))
+    points.sort()
+    keys = [p for p, _ in points]
+    idx = bisect.bisect_right(keys, _ring_point(job_hash)) % len(points)
+    return points[idx][1]
+
+
+class AllocationPolicy:
+    """Strategy for ordering the queue and placing jobs on workers."""
+
+    name = "base"
+
+    def queue_order(self, pending: Sequence[tuple[str, float]],
+                    ) -> list[str]:
+        """Dispatch order for ``(job hash, cost estimate)`` pairs.
+        Default: submission order."""
+        return [h for h, _ in pending]
+
+    def pick_worker(self, job_hash: str, cost: float,
+                    workers: Sequence[WorkerView]) -> str | None:
+        """Worker to run ``job_hash`` on, or None to leave it queued
+        (no worker acceptable right now)."""
+        raise NotImplementedError
+
+
+class HashRingPolicy(AllocationPolicy):
+    """Consistent hashing: each job goes to its ring owner, full or
+    not being the owner's problem — a full owner leaves the job queued
+    rather than migrating it, preserving placement stability."""
+
+    name = "hash-ring"
+
+    def __init__(self, replicas: int = RING_REPLICAS) -> None:
+        self.replicas = replicas
+
+    def pick_worker(self, job_hash: str, cost: float,
+                    workers: Sequence[WorkerView]) -> str | None:
+        live = [w for w in workers if w.slots > 0]
+        if not live:
+            return None
+        owner = ring_assign(job_hash, [w.name for w in live],
+                            self.replicas)
+        view = next(w for w in live if w.name == owner)
+        return owner if view.free > 0 else None
+
+
+class LeastLoadedPolicy(AllocationPolicy):
+    """Greedy: most free slots wins (ties broken by name for
+    determinism given the same worker states)."""
+
+    name = "least-loaded"
+
+    def pick_worker(self, job_hash: str, cost: float,
+                    workers: Sequence[WorkerView]) -> str | None:
+        best: WorkerView | None = None
+        for w in sorted(workers, key=lambda w: w.name):
+            if w.free <= 0:
+                continue
+            if best is None or w.free > best.free:
+                best = w
+        return best.name if best is not None else None
+
+
+class LJFPolicy(LeastLoadedPolicy):
+    """Longest-job-first ordering on top of least-loaded placement —
+    the distributed analogue of the single-host farm's anti-straggler
+    sort."""
+
+    name = "ljf"
+
+    def queue_order(self, pending: Sequence[tuple[str, float]],
+                    ) -> list[str]:
+        return [h for h, _ in
+                sorted(pending, key=lambda p: (-p[1], p[0]))]
+
+
+POLICIES: dict[str, type[AllocationPolicy]] = {
+    HashRingPolicy.name: HashRingPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    LJFPolicy.name: LJFPolicy,
+}
+
+
+def make_policy(name: str) -> AllocationPolicy:
+    """Instantiate a policy by CLI name; unknown names raise with the
+    valid choices listed."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation policy {name!r}; "
+            f"choices: {', '.join(sorted(POLICIES))}"
+        ) from None
+    return cls()

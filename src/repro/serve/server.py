@@ -1,0 +1,718 @@
+"""The sweep server: submissions in, sharded jobs out, results shared.
+
+One :class:`SweepServer` owns four pieces of state, all mutated from a
+single asyncio event loop (no locks):
+
+* ``sweeps`` — one :class:`Sweep` per submission batch, keyed by the
+  content-derived run id (:func:`repro.exec.journal.derive_run_id`).
+  Two clients submitting the same grid concurrently get the *same*
+  sweep object — the second submission attaches to the in-flight run.
+  Each sweep drives its own :class:`~repro.exec.ledger.JobLedger`, so
+  cache replay, journalling, retry accounting and progress events work
+  exactly as they do for the single-host executor.
+* ``jobs`` — the cross-sweep dedup table, keyed by job content hash.
+  However many sweeps want a grid point, it executes at most once; each
+  waiting (sweep, index) pair is resolved when the result lands.
+* ``workers`` — the attached fleet. Placement is delegated to a
+  pluggable :class:`~repro.serve.policy.AllocationPolicy` (consistent
+  hash ring by default). A worker that disconnects, stops heartbeating
+  or blows its job deadline has its in-flight jobs requeued through the
+  normal retry budget — worker churn is just another fault.
+* shared stores — one :class:`~repro.exec.cache.ResultCache` (the
+  schema-v2 checksummed store doubles as the cluster-wide shared
+  cache; a re-submitted grid is served from it without touching a
+  worker) and one :class:`~repro.exec.journal.RunJournal` per sweep
+  (the fsync'd journal doubles as the replication log: a server restart
+  followed by re-submission — or ``{"resume": "<run-id>"}`` — replays
+  completed grid points with zero re-simulation).
+
+Failure model (see docs/distributed.md): results are **exactly-once**
+— attempts are at-least-once (dropped frames, dead workers and
+deadlines re-dispatch; duplicate and late result frames for a resolved
+hash are discarded), but a job's effect lands once because jobs are
+pure functions of their content and the dedup table resolves each hash
+a single time per sweep index. Every result frame is checksummed with
+the same digest the on-disk cache uses; a corrupt frame is treated as
+lost, never believed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import monotonic as _monotonic  # repro: noqa[RPR001]
+
+from repro.exec.cache import ResultCache, encode_job_result
+from repro.exec.chaos import ChaosConfig
+from repro.exec.jobs import JobResult, jobs_for_grid
+from repro.exec.journal import RunJournal, derive_run_id
+from repro.exec.ledger import ExecProgress, JobLedger
+from repro.serve.http import (
+    ProtocolError,
+    Request,
+    read_request,
+    send_error,
+    send_json,
+    start_stream,
+)
+from repro.serve.policy import AllocationPolicy, WorkerView, make_policy
+from repro.serve.protocol import (
+    FrameError,
+    decode_result_frame,
+    job_from_fingerprint,
+    read_frame,
+    send_frame,
+)
+
+#: Default grace (seconds of heartbeat silence) before a worker is
+#: declared dead and its in-flight jobs re-shard.
+DEFAULT_HEARTBEAT_GRACE = 5.0
+
+#: Period of the deadline/heartbeat sweep task.
+_TICK_SECONDS = 0.05
+
+
+def _encode_body(payload: object) -> tuple[object, str]:
+    """(JSON-safe body, kind) for a resolved payload — the same
+    discrimination the journal and the wire protocol use."""
+    if isinstance(payload, JobResult):
+        return encode_job_result(payload), "sim"
+    return payload, "raw"
+
+
+@dataclass(slots=True)
+class Sweep:
+    """One submission batch and its ledger-driven lifecycle."""
+
+    sweep_id: str
+    ledger: JobLedger
+    #: Event history (replayed to every ``/events`` subscriber).
+    events: list[dict] = field(default_factory=list)
+    #: Live subscriber queues; a ``None`` item ends the stream.
+    queues: list[asyncio.Queue] = field(default_factory=list)
+    finished: bool = False
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+        for q in self.queues:
+            q.put_nowait(event)
+
+
+@dataclass(slots=True)
+class _JobState:
+    """Cross-sweep execution state of one content hash."""
+
+    job: object
+    cost: float
+    #: "queued" | "dispatched" | "done" | "failed"
+    status: str = "queued"
+    attempt: int = 0
+    worker: str | None = None
+    deadline: float | None = None
+    payload: object | None = None
+    error: str | None = None
+    #: (sweep, index-in-that-sweep) pairs awaiting this hash.
+    waiters: list[tuple[Sweep, int]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _Worker:
+    """One attached worker connection."""
+
+    name: str
+    slots: int
+    pid: int
+    writer: asyncio.StreamWriter
+    last_beat: float
+    in_flight: set[str] = field(default_factory=set)
+
+
+class SweepServer:
+    """Asyncio HTTP/JSON job server for distributed sweeps.
+
+    ``await start()`` binds and returns the port; ``await stop()``
+    tears everything down. All handlers run on the caller's loop.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 cache_dir: str | Path | None = None,
+                 journal_dir: str | Path | None = None,
+                 policy: AllocationPolicy | str = "hash-ring",
+                 retries: int = 1,
+                 timeout: float | None = None,
+                 heartbeat_grace: float = DEFAULT_HEARTBEAT_GRACE,
+                 chaos: ChaosConfig | None = None,
+                 rotate_bytes: int | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.cache = (ResultCache(cache_dir, chaos=chaos)
+                      if cache_dir is not None else None)
+        self.journal_dir = (Path(journal_dir)
+                            if journal_dir is not None else None)
+        self.policy = (make_policy(policy) if isinstance(policy, str)
+                       else policy)
+        self.retries = retries
+        self.timeout = timeout
+        self.heartbeat_grace = heartbeat_grace
+        self.chaos = chaos
+        self.rotate_bytes = rotate_bytes
+
+        self.sweeps: dict[str, Sweep] = {}
+        self.jobs: dict[str, _JobState] = {}
+        self.workers: dict[str, _Worker] = {}
+        self._wake = asyncio.Event()
+        self._server: asyncio.Server | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._worker_seq = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._tasks = [
+            asyncio.ensure_future(self._dispatch_loop()),
+            asyncio.ensure_future(self._tick_loop()),
+        ]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        self._tasks = []
+        for w in list(self.workers.values()):
+            try:
+                await send_frame(w.writer, {"type": "shutdown"})
+            except (ConnectionError, OSError):  # repro: noqa[RPR007]
+                pass  # already gone; nothing to shut down
+            w.writer.close()
+        self.workers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for sweep in self.sweeps.values():
+            if not sweep.finished:
+                # In-flight ledger: the fsync'd journal already holds
+                # every completed transition; just release the fd.
+                sweep.ledger.close()
+
+    # ------------------------------------------------------------------
+    # submissions
+    # ------------------------------------------------------------------
+    def submit(self, jobs: list, run_id: str | None = None,
+               resume: bool = False) -> Sweep:
+        """Create (or attach to) the sweep executing ``jobs``."""
+        hashes = [job.content_hash() for job in jobs]
+        sweep_id = run_id or derive_run_id(hashes)
+        existing = self.sweeps.get(sweep_id)
+        if existing is not None and not existing.finished:
+            return existing
+
+        journal = None
+        if self.journal_dir is not None:
+            path = self.journal_dir / f"{sweep_id}.jsonl"
+            journal = RunJournal(
+                self.journal_dir, sweep_id,
+                # The journal is the replication log: if a prior server
+                # (or a single-host run) journalled this grid, resume
+                # it instead of rotating its completed work aside.
+                resume=resume or path.exists(),
+                rotate_bytes=self.rotate_bytes,
+            )
+
+        sweep = Sweep(sweep_id=sweep_id, ledger=JobLedger(
+            jobs, hashes=hashes, cache=self.cache, journal=journal,
+            resume=journal is not None, retries=self.retries,
+            progress=None,
+        ))
+        # Bind the progress stream after construction so the callback
+        # can close over the sweep object itself.
+        sweep.ledger.progress = lambda ev: self._emit_progress(sweep, ev)
+        self.sweeps[sweep_id] = sweep
+        sweep.emit({"event": "sweep-start", "sweep": sweep_id,
+                    "total": len(jobs)})
+
+        pending = sweep.ledger.open()
+        for idx in pending:
+            self._enqueue(sweep, idx)
+        self._check_sweep(sweep)
+        self._wake.set()
+        return sweep
+
+    def _enqueue(self, sweep: Sweep, idx: int) -> None:
+        job_hash = sweep.ledger.hashes[idx]
+        job = sweep.ledger.jobs[idx]
+        st = self.jobs.get(job_hash)
+        if st is None or st.status == "failed":
+            # Fresh hash — or a hash that failed terminally for an
+            # earlier sweep: a new submission buys a fresh budget.
+            st = _JobState(job=job, cost=float(job.cost_estimate()))
+            self.jobs[job_hash] = st
+        if st.status == "done":
+            # Dedup hit against a batch resolved earlier this session
+            # (covers WorkJobs and cache-less servers; disk-cache hits
+            # were already taken in ledger.open()).
+            sweep.ledger.complete(idx, st.payload)
+            return
+        st.waiters.append((sweep, idx))
+
+    def _emit_progress(self, sweep: Sweep, ev: ExecProgress) -> None:
+        event: dict[str, object] = {
+            "event": ev.outcome,
+            "job": ev.job.content_hash(),
+            "completed": ev.report.completed,
+            "total": ev.report.total,
+        }
+        if ev.payload is not None:
+            body, kind = _encode_body(ev.payload)
+            event["body"] = body
+            event["body_kind"] = kind
+        sweep.emit(event)
+
+    def _check_sweep(self, sweep: Sweep) -> None:
+        if sweep.finished or not sweep.ledger.done:
+            return
+        sweep.ledger.summarize()
+        sweep.ledger.close()
+        sweep.finished = True
+        sweep.emit({"event": "sweep-end", "sweep": sweep.sweep_id,
+                    "report": sweep.ledger.report.as_dict()})
+        for q in sweep.queues:
+            q.put_nowait(None)
+        sweep.queues.clear()
+
+    # ------------------------------------------------------------------
+    # job resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, st: _JobState, job_hash: str,
+                 payload: object) -> None:
+        """A valid result landed for ``job_hash``: fan out to waiters."""
+        if st.worker is not None:
+            w = self.workers.get(st.worker)
+            if w is not None:
+                w.in_flight.discard(job_hash)
+        st.status = "done"
+        st.payload = payload
+        st.worker = None
+        st.deadline = None
+        waiters, st.waiters = st.waiters, []
+        for sweep, idx in waiters:
+            sweep.ledger.complete(idx, payload)
+        for sweep, _ in waiters:
+            self._check_sweep(sweep)
+        self._wake.set()
+
+    def _attempt_failed(self, st: _JobState, job_hash: str,
+                        error: str) -> None:
+        """One attempt died (crash, deadline, lost frame): retry or
+        fail through every waiting ledger's budget."""
+        if st.worker is not None:
+            w = self.workers.get(st.worker)
+            if w is not None:
+                w.in_flight.discard(job_hash)
+        st.worker = None
+        st.deadline = None
+        retryable = st.attempt < self.retries
+        for sweep, idx in st.waiters:
+            if retryable:
+                sweep.ledger.retry(idx, st.attempt, error)
+            else:
+                sweep.ledger.fail(idx, error)
+        if retryable:
+            st.attempt += 1
+            st.status = "queued"
+            self._wake.set()
+            return
+        st.status = "failed"
+        st.error = error
+        waiters, st.waiters = st.waiters, []
+        for sweep, _ in waiters:
+            self._check_sweep(sweep)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            await self._dispatch_once()
+
+    async def _dispatch_once(self) -> None:
+        queued = [(h, self.jobs[h].cost) for h in self.jobs
+                  if self.jobs[h].status == "queued"]
+        if not queued or not self.workers:
+            return
+        for job_hash in self.policy.queue_order(queued):
+            st = self.jobs[job_hash]
+            if st.status != "queued":
+                continue
+            views = [WorkerView(w.name, w.slots, len(w.in_flight))
+                     for w in self.workers.values()]
+            target = self.policy.pick_worker(job_hash, st.cost, views)
+            if target is None:
+                continue
+            await self._dispatch_to(self.workers[target], st, job_hash)
+
+    async def _dispatch_to(self, w: _Worker, st: _JobState,
+                           job_hash: str) -> None:
+        st.status = "dispatched"
+        st.worker = w.name
+        if self.timeout is not None:
+            st.deadline = _monotonic() + self.timeout
+        w.in_flight.add(job_hash)
+        for sweep, idx in st.waiters:
+            sweep.ledger.start(idx, st.attempt)
+        frame = {
+            "type": "job",
+            "hash": job_hash,
+            "attempt": st.attempt,
+            "fingerprint": st.job.fingerprint_payload(),
+            "timeout": self.timeout,
+        }
+        try:
+            # A chaos "drop" here means the worker never hears about
+            # the job — the deadline sweep re-dispatches the attempt,
+            # exactly like a lost packet would play out.
+            await send_frame(w.writer, frame, chaos=self.chaos,
+                             site="serve-dispatch", key=job_hash,
+                             attempt=st.attempt)
+        except (ConnectionError, OSError):
+            await self._drop_worker(w, "connection lost")
+
+    # ------------------------------------------------------------------
+    # worker fleet
+    # ------------------------------------------------------------------
+    async def _serve_worker(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            hello = await read_frame(reader)
+        except FrameError:
+            writer.close()
+            return
+        if hello is None or hello.get("type") != "hello":
+            writer.close()
+            return
+        self._worker_seq += 1
+        name = str(hello.get("name") or f"worker-{self._worker_seq}")
+        old = self.workers.get(name)
+        if old is not None:
+            # A reconnect under the same name supersedes the old link.
+            await self._drop_worker(old, "superseded")
+        w = _Worker(
+            name=name, slots=max(1, int(hello.get("slots", 1))),
+            pid=int(hello.get("pid", 0)), writer=writer,
+            last_beat=_monotonic(),
+        )
+        self.workers[name] = w
+        self._wake.set()
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "heartbeat":
+                    w.last_beat = _monotonic()
+                elif kind == "result":
+                    self._on_result(frame)
+                elif kind == "job-error":
+                    self._on_job_error(frame)
+        except (FrameError, ConnectionError, OSError):  # repro: noqa[RPR007]
+            pass  # treated identically to a clean disconnect below
+        finally:
+            await self._drop_worker(w, "disconnected")
+
+    async def _drop_worker(self, w: _Worker, reason: str) -> None:
+        if self.workers.get(w.name) is w:
+            del self.workers[w.name]
+        w.writer.close()
+        for job_hash in list(w.in_flight):
+            st = self.jobs.get(job_hash)
+            if (st is not None and st.status == "dispatched"
+                    and st.worker == w.name):
+                self._attempt_failed(
+                    st, job_hash, f"worker {w.name} {reason}"
+                )
+        w.in_flight.clear()
+        self._wake.set()
+
+    def _on_result(self, frame: dict) -> None:
+        job_hash = str(frame.get("hash", ""))
+        st = self.jobs.get(job_hash)
+        if st is None or st.status in ("done", "failed"):
+            return  # duplicate or late delivery: already resolved
+        payload = decode_result_frame(frame)
+        if payload is None:
+            # Checksum mismatch: the frame is corrupt and therefore
+            # *lost*, never believed. Re-dispatch the current attempt
+            # if this was it; stale corrupt frames are just ignored.
+            if (st.status == "dispatched"
+                    and frame.get("attempt") == st.attempt):
+                self._attempt_failed(st, job_hash,
+                                     "corrupt result frame")
+            return
+        # A late result from a superseded attempt is still a valid
+        # result — jobs are pure functions of their content.
+        self._resolve(st, job_hash, payload)
+
+    def _on_job_error(self, frame: dict) -> None:
+        job_hash = str(frame.get("hash", ""))
+        st = self.jobs.get(job_hash)
+        if (st is None or st.status != "dispatched"
+                or frame.get("attempt") != st.attempt):
+            return  # stale error for an attempt we already gave up on
+        self._attempt_failed(
+            st, job_hash, str(frame.get("error") or "job failed")
+        )
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(_TICK_SECONDS)
+            now = _monotonic()
+            for w in list(self.workers.values()):
+                if now - w.last_beat > self.heartbeat_grace:
+                    await self._drop_worker(w, "stopped heartbeating")
+            for job_hash, st in list(self.jobs.items()):
+                if (st.status == "dispatched" and st.deadline is not None
+                        and now > st.deadline):
+                    self._attempt_failed(
+                        st, job_hash,
+                        f"timed out after {self.timeout:g}s",
+                    )
+            self._wake.set()
+
+    # ------------------------------------------------------------------
+    # HTTP surface
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                req = await read_request(reader)
+            except ProtocolError as exc:
+                await send_error(writer, 400, str(exc))
+                return
+            if req is None:
+                return
+            if req.method == "POST" and req.path == "/v1/workers/attach":
+                # Upgrade: this connection becomes the worker link and
+                # outlives the handler's request/response framing.
+                await start_stream(writer)
+                await self._serve_worker(reader, writer)
+                return
+            await self._route(req, reader, writer)
+        except (ConnectionError, OSError):  # repro: noqa[RPR007]
+            pass  # peer vanished mid-response; nothing to salvage
+        finally:
+            writer.close()
+
+    async def _route(self, req: Request, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        if req.method == "POST" and req.path == "/v1/sweeps":
+            await self._post_sweeps(req, writer)
+            return
+        if req.method == "GET":
+            if req.path == "/v1/healthz":
+                await send_json(writer, 200, {
+                    "ok": True,
+                    "workers": len(self.workers),
+                    "sweeps": len(self.sweeps),
+                })
+                return
+            if req.path == "/v1/workers":
+                await send_json(writer, 200, {"workers": [
+                    {"name": w.name, "slots": w.slots, "pid": w.pid,
+                     "in_flight": len(w.in_flight)}
+                    for w in self.workers.values()
+                ]})
+                return
+            if req.path == "/v1/cache":
+                if self.cache is None:
+                    await send_error(writer, 404,
+                                     "server runs without a cache")
+                    return
+                await send_json(writer, 200,
+                                self.cache.stats().as_dict())
+                return
+            parts = req.path.strip("/").split("/")
+            if len(parts) >= 3 and parts[:2] == ["v1", "sweeps"]:
+                sweep = self.sweeps.get(parts[2])
+                if sweep is None:
+                    await send_error(writer, 404,
+                                     f"no sweep {parts[2]}")
+                    return
+                if len(parts) == 3:
+                    await self._get_sweep(sweep, writer)
+                    return
+                if len(parts) == 4 and parts[3] == "events":
+                    await self._get_events(sweep, writer)
+                    return
+                if len(parts) == 4 and parts[3] == "results":
+                    await self._get_results(sweep, writer)
+                    return
+        await send_error(writer, 404, f"no route {req.method} {req.path}")
+
+    async def _post_sweeps(self, req: Request,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = req.json()
+        except ProtocolError as exc:
+            await send_error(writer, 400, str(exc))
+            return
+        if not isinstance(payload, dict):
+            await send_error(writer, 400, "submission must be an object")
+            return
+        try:
+            jobs, run_id, resume = self._jobs_from_submission(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            await send_error(writer, 400, f"bad submission: {exc}")
+            return
+        if not jobs:
+            await send_error(writer, 400, "submission contains no jobs")
+            return
+        attached = run_id in self.sweeps if run_id is not None else (
+            derive_run_id([j.content_hash() for j in jobs]) in self.sweeps
+        )
+        sweep = self.submit(jobs, run_id=run_id, resume=resume)
+        await send_json(writer, 202, {
+            "sweep": sweep.sweep_id,
+            "total": sweep.ledger.report.total,
+            "status": "done" if sweep.finished else "running",
+            "attached": attached,
+        })
+
+    def _jobs_from_submission(
+        self, payload: dict
+    ) -> tuple[list, str | None, bool]:
+        """Expand one POST body into jobs (+ run id for resumes).
+
+        Three vocabularies: ``{"jobs": [fingerprint, ...]}`` (what the
+        remote client ships), ``{"grid": {...}}`` (the ``run_sweep``
+        grid vocabulary, expanded server-side), and
+        ``{"resume": "<run-id>"}`` (rebuild the batch from the journal
+        — the replication log — of an interrupted run).
+        """
+        if "resume" in payload:
+            run_id = str(payload["resume"])
+            if self.journal_dir is None:
+                raise ValueError("server runs without a journal; "
+                                 "nothing to resume from")
+            path = self.journal_dir / f"{run_id}.jsonl"
+            loaded = RunJournal(self.journal_dir, run_id, resume=True)
+            jobs = loaded.queued_jobs()
+            loaded.close()
+            if not jobs:
+                raise ValueError(f"journal {path} records no jobs")
+            return jobs, run_id, True
+        if "jobs" in payload:
+            fps = payload["jobs"]
+            if not isinstance(fps, list):
+                raise ValueError('"jobs" must be a list of fingerprints')
+            return [job_from_fingerprint(fp) for fp in fps], None, False
+        if "grid" in payload:
+            return _expand_grid(payload["grid"]), None, False
+        raise ValueError('expected "jobs", "grid" or "resume"')
+
+    async def _get_sweep(self, sweep: Sweep,
+                         writer: asyncio.StreamWriter) -> None:
+        report = sweep.ledger.report
+        await send_json(writer, 200, {
+            "sweep": sweep.sweep_id,
+            "status": "done" if sweep.finished else "running",
+            "completed": report.completed,
+            "total": report.total,
+            "report": report.as_dict(),
+        })
+
+    async def _get_events(self, sweep: Sweep,
+                          writer: asyncio.StreamWriter) -> None:
+        await start_stream(writer)
+        for event in list(sweep.events):
+            await send_frame(writer, event)
+        if not sweep.finished:
+            queue: asyncio.Queue = asyncio.Queue()
+            sweep.queues.append(queue)
+            try:
+                while True:
+                    event = await queue.get()
+                    if event is None:
+                        break
+                    await send_frame(writer, event)
+            finally:
+                if queue in sweep.queues:
+                    sweep.queues.remove(queue)
+
+    async def _get_results(self, sweep: Sweep,
+                           writer: asyncio.StreamWriter) -> None:
+        if not sweep.finished:
+            await send_error(writer, 409,
+                             f"sweep {sweep.sweep_id} still running")
+            return
+        encoded: list[dict | None] = []
+        for payload in sweep.ledger.results:
+            if payload is None:
+                encoded.append(None)
+                continue
+            body, kind = _encode_body(payload)
+            encoded.append({"body": body, "body_kind": kind})
+        await send_json(writer, 200, {
+            "sweep": sweep.sweep_id,
+            "report": sweep.ledger.report.as_dict(),
+            "results": encoded,
+        })
+
+
+def _expand_grid(grid: object) -> list:
+    """Server-side expansion of the ``run_sweep`` grid vocabulary:
+    machine profile by name, mixes by name (or thread count),
+    schedulers x IQ sizes x mixes via the same
+    :func:`~repro.exec.jobs.jobs_for_grid` every local sweep uses."""
+    from repro.config import presets
+    from repro.workloads.mixes import mixes_for_threads
+
+    if not isinstance(grid, dict):
+        raise ValueError("grid must be an object")
+    profiles = {
+        "paper": presets.paper_machine,
+        "small": presets.small_machine,
+        "tiny": presets.tiny_machine,
+    }
+    profile = str(grid.get("profile", "small"))
+    if profile not in profiles:
+        raise ValueError(f"unknown profile {profile!r}; "
+                         f"choices: {', '.join(sorted(profiles))}")
+    threads = int(grid.get("threads", 2))
+    mixes = list(mixes_for_threads(threads))
+    if "mixes" in grid:
+        wanted = {str(m) for m in grid["mixes"]}
+        by_name = {m.name: m for m in mixes}
+        unknown = wanted - set(by_name)
+        if unknown:
+            raise ValueError(
+                f"unknown mixes for threads={threads}: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        mixes = [m for m in mixes if m.name in wanted]
+    keyed = jobs_for_grid(
+        mixes,
+        profiles[profile](),
+        tuple(str(s) for s in grid.get("schedulers",
+                                       ("traditional", "2op_ooo"))),
+        tuple(int(q) for q in grid.get("iq_sizes", (16,))),
+        int(grid.get("max_insns", 2000)),
+        int(grid.get("seed", 0)),
+        with_fairness=bool(grid.get("with_fairness", False)),
+    )
+    return [job for _, job in keyed]

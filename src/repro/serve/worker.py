@@ -1,0 +1,175 @@
+"""Worker agent: attach to a sweep server, execute jobs, ship results.
+
+``python -m repro.serve worker --connect http://host:port`` runs one
+agent. The agent opens a single long-lived connection, upgrades it to
+the NDJSON frame protocol (:mod:`repro.serve.protocol`), announces
+itself with a ``hello`` frame (name + slot count), then executes every
+``job`` frame the server shards to it:
+
+* the job is rebuilt from its fingerprint (no shared filesystem
+  needed) and run on a thread pool of ``slots`` threads, keeping the
+  connection's event loop free to heartbeat and accept further jobs;
+* the result travels back as a checksummed ``result`` frame through
+  the same byte-stable codec the on-disk cache uses — the server
+  cannot tell (and tests assert it cannot tell) a remote result from
+  a local one;
+* a heartbeat frame every :data:`~repro.serve.protocol.HEARTBEAT_PERIOD`
+  seconds keeps the server's watchdog quiet; a worker that stops
+  beating is declared dead and its jobs re-shard.
+
+Chaos parity: the agent honours the same :class:`ChaosConfig` worker
+faults as the forked farm — a *kill* is a hard ``os._exit(73)`` of the
+whole agent (worker churn, triggering journal-driven re-shard), a
+*hang* silences the heartbeats so the server watchdog must catch it —
+plus the network-site faults (``net_drop``/``net_dup``/``net_delay``)
+applied to outgoing result frames. Every decision is keyed by (job
+hash, attempt), so retried attempts converge exactly as they do
+locally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import urlsplit
+
+from repro.exec.chaos import CHAOS_EXIT_CODE, ChaosConfig
+from repro.serve.protocol import (
+    HEARTBEAT_PERIOD,
+    encode_result_frame,
+    job_from_fingerprint,
+    read_frame,
+    send_frame,
+)
+
+
+def parse_server_url(url: str) -> tuple[str, int]:
+    """(host, port) of an ``http://host:port`` server URL."""
+    split = urlsplit(url if "//" in url else f"//{url}")
+    if split.scheme not in ("", "http"):
+        raise ValueError(f"unsupported scheme in server URL {url!r}")
+    if not split.hostname or not split.port:
+        raise ValueError(f"server URL must be http://host:port, "
+                         f"got {url!r}")
+    return split.hostname, split.port
+
+
+class WorkerAgent:
+    """One attached worker: a connection, a thread pool, a heartbeat."""
+
+    def __init__(self, url: str, *, slots: int = 1,
+                 name: str | None = None,
+                 chaos: ChaosConfig | None = None) -> None:
+        self.host, self.port = parse_server_url(url)
+        self.slots = max(1, slots)
+        self.name = name or f"{os.uname().nodename}-{os.getpid()}"
+        self.chaos = chaos
+        self._writer: asyncio.StreamWriter | None = None
+        self._send_lock = asyncio.Lock()
+        #: Heartbeats pause while "hung" (chaos) so the server watchdog
+        #: sees exactly what a stuck worker looks like.
+        self._hung = False
+        #: (hash, attempt) pairs already accepted — a duplicated
+        #: dispatch frame (chaos net_dup) must not run a job twice.
+        self._seen: set[tuple[str, int]] = set()
+
+    async def _send(self, frame: dict, *, site: str = "",
+                    key: str = "", attempt: int = 0) -> None:
+        assert self._writer is not None
+        async with self._send_lock:
+            await send_frame(self._writer, frame, chaos=self.chaos,
+                            site=site, key=key, attempt=attempt)
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(HEARTBEAT_PERIOD)
+            if self._hung:
+                continue
+            await self._send({"type": "heartbeat"})
+
+    async def _run_job(self, pool: ThreadPoolExecutor,
+                       frame: dict) -> None:
+        job_hash = str(frame["hash"])
+        attempt = int(frame.get("attempt", 0))
+        chaos = self.chaos
+        kill_point = None
+        if chaos is not None:
+            kill_point = chaos.kill_point(job_hash, attempt)
+            if chaos.should_hang(job_hash, attempt):
+                self._hung = True
+                await asyncio.sleep(chaos.hang_seconds)
+            if kill_point == "early":
+                os._exit(CHAOS_EXIT_CODE)
+        try:
+            job = job_from_fingerprint(frame["fingerprint"])
+            loop = asyncio.get_event_loop()
+            payload = await loop.run_in_executor(pool, job.run)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - serialised to server
+            await self._send(
+                {"type": "job-error", "hash": job_hash,
+                 "attempt": attempt,
+                 "error": f"{type(exc).__name__}: {exc}"},
+                site="serve-result", key=job_hash, attempt=attempt,
+            )
+            return
+        if chaos is not None and kill_point == "late":
+            os._exit(CHAOS_EXIT_CODE)
+        await self._send(
+            encode_result_frame(job_hash, attempt, payload),
+            site="serve-result", key=job_hash, attempt=attempt,
+        )
+
+    async def run(self) -> None:
+        """Connect, attach, and serve jobs until shutdown or EOF."""
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._writer = writer
+        writer.write(
+            b"POST /v1/workers/attach HTTP/1.1\r\n"
+            b"Content-Length: 0\r\n\r\n"
+        )
+        await writer.drain()
+        await reader.readuntil(b"\r\n\r\n")  # upgrade response headers
+        await self._send({"type": "hello", "name": self.name,
+                          "slots": self.slots, "pid": os.getpid()})
+        beat = asyncio.ensure_future(self._heartbeat_loop())
+        pool = ThreadPoolExecutor(max_workers=self.slots)
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or frame.get("type") == "shutdown":
+                    break
+                if frame.get("type") != "job":
+                    continue
+                key = (str(frame.get("hash")),
+                       int(frame.get("attempt", 0)))
+                if key in self._seen:
+                    continue  # duplicated dispatch frame (chaos)
+                self._seen.add(key)
+                task = asyncio.ensure_future(self._run_job(pool, frame))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            beat.cancel()
+            for task in tasks:
+                task.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            writer.close()
+
+
+def run_worker(url: str, *, slots: int = 1, name: str | None = None,
+               chaos: ChaosConfig | None = None) -> None:
+    """Blocking entry point (the CLI and cluster worker processes)."""
+    agent = WorkerAgent(url, slots=slots, name=name, chaos=chaos)
+    try:
+        asyncio.run(agent.run())
+    except (ConnectionError, OSError,  # repro: noqa[RPR007]
+            asyncio.IncompleteReadError):
+        # Server went away; a supervised worker just exits and lets
+        # its supervisor decide whether to respawn.
+        pass

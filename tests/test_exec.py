@@ -186,6 +186,57 @@ class TestResultCache:
         assert "removed 1 entry" in capsys.readouterr().out
         assert ResultCache(tmp_path).stats().entries == 0
 
+    def test_stats_by_kind_breakdown(self, tmp_path, executed_job):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        cache.put(job, payload)
+        stats = cache.stats()
+        kinds = {k: (n, b) for k, n, b in stats.by_kind}
+        assert set(kinds) == {"sim"}
+        assert kinds["sim"] == (1, stats.total_bytes)
+
+    def test_run_counters_persisted_and_aggregated(self, tmp_path,
+                                                   executed_job):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        cache.put(job, payload)
+        cache.record_run("run-a", hits=0, misses=4, total=4)
+        cache.record_run("run-b", hits=3, misses=1, total=4)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.runs) == (3, 5, 2)
+        # Content-derived run ids: a warm rerun updates its own file
+        # rather than double counting.
+        cache.record_run("run-b", hits=4, misses=0, total=4)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.runs) == (4, 4, 2)
+
+    def test_journalled_runs_record_counters(self, tmp_path):
+        jobs = [SimJob(benchmarks=("parser", "vortex"), config=CFG,
+                       max_insns=INSNS, seed=s) for s in (0, 1)]
+        ex = ExecutorConfig(cache_dir=tmp_path / "cache",
+                            journal_dir=tmp_path / "journal")
+        _, cold = execute_jobs(jobs, ex)
+        runs = tmp_path / "cache" / "runs"
+        rec = json.loads(
+            (runs / f"{cold.run_id}.json").read_text(encoding="utf-8")
+        )
+        assert rec == {"run_id": cold.run_id, "hits": 0, "misses": 2,
+                       "total": 2}
+        stats = ResultCache(tmp_path / "cache").stats()
+        assert (stats.hits, stats.misses, stats.runs) == (0, 2, 1)
+
+    def test_cli_stats_reports_kinds_and_counters(self, tmp_path,
+                                                  executed_job, capsys):
+        job, payload = executed_job
+        cache = ResultCache(tmp_path)
+        cache.put(job, payload)
+        cache.record_run("run-a", hits=2, misses=1, total=3)
+        assert exec_main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kind sim: 1 entry" in out
+        assert "hits:    2 (over 1 recorded run)" in out
+        assert "misses:  1" in out
+
 
 # ----------------------------------------------------------------------
 # executor: determinism, caching, fault handling

@@ -1,0 +1,515 @@
+"""Tests for the distributed sweep service (``repro.serve``).
+
+The headline invariant, enforced here end to end: a sweep executed by
+the service — across real worker processes, under injected worker kills
+and dropped/duplicated/delayed frames — completes with results
+byte-identical to a fault-free single-host ``execute_jobs`` run, and a
+repeat submission simulates nothing. Around it: the consistent-hash
+ring's stability property (hypothesis), per-policy result identity,
+protocol framing and checksum handling, network-chaos determinism,
+cross-submission dedup, journal-backed server restart/resume, and the
+``ExecutorConfig(server=...)`` routing of existing sweeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import small_machine
+from repro.exec import (
+    ChaosConfig,
+    ExecutorConfig,
+    SimJob,
+    execute_jobs,
+    jobs_for_grid,
+)
+from repro.exec.cache import encode_job_result
+from repro.exec.jobs import JobResult
+from repro.serve import (
+    POLICIES,
+    HashRingPolicy,
+    LeastLoadedPolicy,
+    LJFPolicy,
+    LocalCluster,
+    ServerError,
+    SweepServer,
+    WorkerView,
+    make_policy,
+    ring_assign,
+)
+from repro.serve.client import (
+    cache_stats,
+    execute_remote,
+    fetch_results,
+    stream_events,
+    submit,
+)
+from repro.serve.protocol import (
+    FrameError,
+    decode_result_frame,
+    encode_result_frame,
+    frame_bytes,
+    job_from_fingerprint,
+    read_frame,
+)
+from repro.serve.worker import parse_server_url
+from repro.workloads.mixes import TWO_THREAD_MIXES
+
+CFG = small_machine()
+INSNS = 300
+
+
+def grid_jobs() -> list[SimJob]:
+    keyed = jobs_for_grid(
+        TWO_THREAD_MIXES[:2], CFG, ("traditional", "2op_ooo"), (8,),
+        INSNS, 0,
+    )
+    return [job for _, job in keyed]
+
+
+def canon(results) -> list[str]:
+    """Byte-level canonical form of a result list, for the invariant."""
+    return [json.dumps(encode_job_result(p), sort_keys=True)
+            for p in results]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Fault-free single-host results for the module's 4-point grid."""
+    jobs = grid_jobs()
+    results, report = execute_jobs(jobs, ExecutorConfig(jobs=1))
+    assert report.simulated == len(jobs)
+    return canon(results)
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    """One fault-free loopback cluster shared by the happy-path tests."""
+    root = tmp_path_factory.mktemp("serve")
+    with LocalCluster(
+        workers=2, cache_dir=root / "cache", journal_dir=root / "journal",
+        retries=2, timeout=60.0,
+    ) as c:
+        yield c
+
+
+# ----------------------------------------------------------------------
+# consistent hashing: the stability property
+# ----------------------------------------------------------------------
+job_hashes = st.lists(
+    st.text(alphabet="0123456789abcdef", min_size=8, max_size=16),
+    min_size=1, max_size=40, unique=True,
+)
+worker_sets = st.lists(
+    st.text(alphabet="wxyz", min_size=1, max_size=4),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+class TestRingAssign:
+    @given(job_hashes, worker_sets)
+    @settings(max_examples=60)
+    def test_join_moves_keys_only_to_new_worker(self, keys, workers):
+        joined = workers + ["newcomer"]
+        for key in keys:
+            before = ring_assign(key, workers)
+            after = ring_assign(key, joined)
+            assert after in (before, "newcomer")
+
+    @given(job_hashes, worker_sets)
+    @settings(max_examples=60)
+    def test_leave_moves_only_departed_workers_keys(self, keys, workers):
+        if len(workers) < 2:
+            return
+        departed = workers[0]
+        rest = workers[1:]
+        for key in keys:
+            before = ring_assign(key, workers)
+            after = ring_assign(key, rest)
+            if before != departed:
+                assert after == before
+
+    @given(job_hashes, worker_sets)
+    @settings(max_examples=30)
+    def test_assignment_is_deterministic_and_order_free(self, keys,
+                                                        workers):
+        for key in keys:
+            assert ring_assign(key, workers) == \
+                   ring_assign(key, list(reversed(workers)))
+
+    def test_churn_is_about_one_over_n(self):
+        # With 5 workers, adding a 6th should move ~1/6 of keys; virtual
+        # nodes keep the realised fraction in the right ballpark.
+        keys = [f"{i:04x}" for i in range(600)]
+        workers = [f"w{i}" for i in range(5)]
+        before = {k: ring_assign(k, workers) for k in keys}
+        after = {k: ring_assign(k, workers + ["w5"]) for k in keys}
+        moved = sum(before[k] != after[k] for k in keys)
+        assert 0.05 < moved / len(keys) < 0.35
+
+    def test_empty_worker_set_rejected(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            ring_assign("abcd", [])
+
+
+# ----------------------------------------------------------------------
+# allocation policies (pure, no server)
+# ----------------------------------------------------------------------
+class TestPolicies:
+    def test_registry_and_factory(self):
+        assert set(POLICIES) == {"hash-ring", "least-loaded", "ljf"}
+        assert isinstance(make_policy("hash-ring"), HashRingPolicy)
+        with pytest.raises(ValueError, match="unknown allocation policy"):
+            make_policy("round-robin")
+
+    def test_hash_ring_honours_owner_even_when_busy(self):
+        policy = HashRingPolicy()
+        workers = [WorkerView("a", slots=1, in_flight=0),
+                   WorkerView("b", slots=1, in_flight=0)]
+        owner = policy.pick_worker("feed", 1.0, workers)
+        assert owner == ring_assign("feed", ["a", "b"])
+        # Fill the owner: the job must stay queued, not migrate.
+        for w in workers:
+            if w.name == owner:
+                w.in_flight = 1
+        assert policy.pick_worker("feed", 1.0, workers) is None
+
+    def test_least_loaded_picks_most_free_name_tiebreak(self):
+        policy = LeastLoadedPolicy()
+        workers = [WorkerView("b", slots=4, in_flight=1),
+                   WorkerView("a", slots=4, in_flight=1),
+                   WorkerView("c", slots=4, in_flight=3)]
+        assert policy.pick_worker("h", 1.0, workers) == "a"
+        assert policy.pick_worker(
+            "h", 1.0, [WorkerView("a", 1, 1), WorkerView("b", 1, 1)]
+        ) is None
+
+    def test_queue_orders(self):
+        pending = [("aa", 1.0), ("bb", 3.0), ("cc", 2.0)]
+        assert LeastLoadedPolicy().queue_order(pending) == \
+               ["aa", "bb", "cc"]
+        assert LJFPolicy().queue_order(pending) == ["bb", "cc", "aa"]
+
+
+# ----------------------------------------------------------------------
+# wire protocol: framing, checksums, network chaos
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def _payload(self) -> JobResult:
+        return grid_jobs()[0].run()
+
+    def test_result_frame_roundtrip_is_byte_stable(self):
+        payload = self._payload()
+        frame = encode_result_frame("abcd", 0, payload)
+        decoded = decode_result_frame(frame)
+        assert canon([decoded]) == canon([payload])
+
+    def test_checksum_mismatch_treated_as_lost(self):
+        frame = encode_result_frame("abcd", 0, self._payload())
+        frame["body"]["result"]["cycles"] += 1
+        assert decode_result_frame(frame) is None
+
+    def test_raw_body_kind_roundtrip(self):
+        frame = encode_result_frame("abcd", 1, {"answer": 42})
+        assert frame["body_kind"] == "raw"
+        assert decode_result_frame(frame) == {"answer": 42}
+
+    def test_job_from_fingerprint_preserves_hash(self):
+        job = grid_jobs()[0]
+        rebuilt = job_from_fingerprint(job.fingerprint_payload())
+        assert rebuilt.content_hash() == job.content_hash()
+
+    def test_read_frame_roundtrip_and_eof(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame_bytes({"type": "heartbeat"}))
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            return first, second
+
+        first, second = asyncio.run(go())
+        assert first == {"type": "heartbeat"}
+        assert second is None
+
+    def test_read_frame_rejects_torn_and_typeless(self):
+        async def torn():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b'{"type": "hea')  # no newline, then EOF
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        async def typeless():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b'{"hello": 1}\n')
+            return await read_frame(reader)
+
+        with pytest.raises(FrameError, match="mid-frame"):
+            asyncio.run(torn())
+        with pytest.raises(FrameError, match="without a type"):
+            asyncio.run(typeless())
+
+    def test_oversized_frame_spans_stream_limit(self):
+        # Larger than the default StreamReader buffer (64 KiB) but under
+        # MAX_FRAME_BYTES: the chunked fallback must reassemble it.
+        big = {"type": "result", "blob": "x" * 200_000}
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame_bytes(big))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(go()) == big
+
+    def test_net_chaos_deterministic_and_keyed_by_attempt(self):
+        c1 = ChaosConfig(seed=11, net_drop_p=0.4, net_dup_p=0.3,
+                         net_delay_p=0.5, net_delay_max=0.02)
+        c2 = ChaosConfig(seed=11, net_drop_p=0.4, net_dup_p=0.3,
+                         net_delay_p=0.5, net_delay_max=0.02)
+        keys = [f"{i:03x}" for i in range(40)]
+        faults1 = [c1.net_fault("serve-dispatch", k, 0) for k in keys]
+        assert faults1 == [c2.net_fault("serve-dispatch", k, 0)
+                           for k in keys]
+        assert "drop" in faults1 and "dup" in faults1
+        # Retries must be able to converge: the same key draws fresh
+        # fault decisions at the next attempt.
+        assert faults1 != [c1.net_fault("serve-dispatch", k, 1)
+                           for k in keys]
+        # Sites are independent fault populations.
+        assert faults1 != [c1.net_fault("serve-result", k, 0)
+                           for k in keys]
+        delays = [c1.net_delay("serve-dispatch", k, 0) for k in keys]
+        assert all(0.0 <= d <= 0.02 for d in delays)
+        assert any(d > 0.0 for d in delays)
+
+    def test_net_knobs_parse_and_gate(self):
+        c = ChaosConfig.parse(
+            "net_drop=0.2,net_dup=0.1,net_delay=0.3,net_delay_max=0.01"
+        )
+        assert (c.net_drop_p, c.net_dup_p, c.net_delay_p) == \
+               (0.2, 0.1, 0.3)
+        assert c.net_delay_max == 0.01
+        assert c.net_enabled and c.enabled
+        assert not ChaosConfig(seed=5).net_enabled
+        # Kill-only chaos is enabled but has no network component.
+        assert not ChaosConfig(kill_p=0.5).net_enabled
+
+
+class TestWorkerUrl:
+    def test_parse(self):
+        assert parse_server_url("http://127.0.0.1:8742") == \
+               ("127.0.0.1", 8742)
+
+    def test_rejects_bad_urls(self):
+        with pytest.raises(ValueError, match="unsupported scheme"):
+            parse_server_url("ftp://host:1")
+        with pytest.raises(ValueError, match="host:port"):
+            parse_server_url("http://hostonly")
+
+
+# ----------------------------------------------------------------------
+# server-side dedup across submissions (in-process, no workers)
+# ----------------------------------------------------------------------
+class TestSubmissionDedup:
+    def test_identical_submissions_attach_to_one_sweep(self):
+        async def go():
+            server = SweepServer()
+            await server.start()
+            try:
+                jobs = grid_jobs()
+                first = server.submit(list(jobs))
+                second = server.submit(list(jobs))
+                # Content-derived sweep id: the second submission joins
+                # the in-flight sweep instead of re-queueing the grid.
+                assert second is first
+                assert len(server.jobs) == len(jobs)
+            finally:
+                await server.stop()
+
+        asyncio.run(go())
+
+    def test_overlapping_grids_share_job_states(self):
+        async def go():
+            server = SweepServer()
+            await server.start()
+            try:
+                jobs = grid_jobs()
+                server.submit(jobs[:3])
+                server.submit(jobs[1:])
+                overlap = jobs[1].content_hash()
+                st = server.jobs[overlap]
+                # One _JobState, two ledgers waiting on it.
+                assert len(st.waiters) == 2
+                assert len(server.jobs) == len(jobs)
+            finally:
+                await server.stop()
+
+        asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# end to end: loopback cluster vs the single-host golden run
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_cold_then_warm_matches_golden(self, cluster, golden):
+        jobs = grid_jobs()
+        cold, cold_report = execute_remote(jobs, cluster.url)
+        assert canon(cold) == golden
+        assert cold_report.simulated == len(jobs)
+        warm, warm_report = execute_remote(jobs, cluster.url)
+        assert canon(warm) == golden
+        assert warm_report.simulated == 0
+        # The journal (replication log) replays ahead of the cache
+        # pass, so a warm re-submission resolves as resumed + cached.
+        assert warm_report.resumed + warm_report.cached == len(jobs)
+
+    def test_executor_config_server_routes_execute_jobs(self, cluster,
+                                                        golden):
+        results, report = execute_jobs(
+            grid_jobs(), ExecutorConfig(server=cluster.url)
+        )
+        assert canon(results) == golden
+        assert report.failed == 0
+
+    def test_progress_stream_counts(self, cluster):
+        jobs = grid_jobs()
+        seen: list[str] = []
+        _, report = execute_remote(
+            jobs, cluster.url, progress=lambda p: seen.append(p.outcome)
+        )
+        assert len(seen) == len(jobs)
+        assert report.completed == len(jobs)
+
+    def test_event_stream_replays_history(self, cluster):
+        jobs = grid_jobs()
+        reply = submit(cluster.url,
+                       {"jobs": [j.fingerprint_payload() for j in jobs]})
+        events = list(stream_events(cluster.url, reply["sweep"]))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep-start"
+        assert kinds[-1] == "sweep-end"
+        assert len([k for k in kinds
+                    if k in ("cached", "resumed", "simulated")]) == \
+               len(jobs)
+
+    def test_grid_submission_vocabulary(self, cluster, golden):
+        names = [m.name for m in TWO_THREAD_MIXES[:2]]
+        reply = submit(cluster.url, {"grid": {
+            "profile": "small", "threads": 2, "mixes": names,
+            "schedulers": ["traditional", "2op_ooo"], "iq_sizes": [8],
+            "max_insns": INSNS, "seed": 0,
+        }})
+        assert reply["total"] == len(golden)
+        results, report = fetch_results(cluster.url, reply["sweep"])
+        # A grid expanded server-side hashes identically to the same
+        # grid submitted as explicit fingerprints.
+        assert canon(results) == golden
+        assert report.failed == 0
+
+    def test_bad_submissions_rejected(self, cluster):
+        with pytest.raises(ServerError, match="bad submission"):
+            submit(cluster.url, {"grid": {"profile": "huge"}})
+        with pytest.raises(ServerError, match='"jobs", "grid" or'):
+            submit(cluster.url, {})
+
+    def test_unknown_sweep_is_404(self, cluster):
+        with pytest.raises(ServerError, match="404"):
+            fetch_results(cluster.url, "no-such-sweep")
+
+    def test_cache_endpoint_matches_cli_struct(self, cluster):
+        stats = cache_stats(cluster.url)
+        assert stats["entries"] == len(grid_jobs())
+        assert {"kind": "sim", "entries": stats["entries"],
+                "bytes": stats["total_bytes"]} in stats["by_kind"]
+        # Per-run hit/miss counters persisted by the server's ledger
+        # (same files `python -m repro.exec cache stats` aggregates).
+        assert stats["runs"] >= 1
+        assert stats["hits"] >= 0 and stats["misses"] >= 0
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_every_policy_is_placement_only(tmp_path, golden, policy):
+    """Acceptance: placement strategy can never change the bytes."""
+    jobs = grid_jobs()
+    with LocalCluster(
+        workers=2, cache_dir=tmp_path / "cache", policy=policy,
+        retries=2, timeout=60.0,
+    ) as cluster:
+        results, report = execute_remote(jobs, cluster.url)
+    assert canon(results) == golden
+    assert report.failed == 0
+
+
+# ----------------------------------------------------------------------
+# the acceptance invariant: chaos cluster == fault-free single host
+# ----------------------------------------------------------------------
+def chaos_for(hashes) -> ChaosConfig:
+    """Deterministically pick a seed whose attempt-0 draws inject at
+    least one worker kill and one dropped frame, so the test provably
+    exercises the recovery paths — never flaky, never vacuous."""
+    for seed in range(300):
+        c = ChaosConfig(
+            seed=seed, kill_p=0.3, net_drop_p=0.2, net_dup_p=0.2,
+            net_delay_p=0.3, net_delay_max=0.02,
+        )
+        kills = sum(c.should_kill(h, 0) for h in hashes)
+        drops = sum(
+            c.net_fault(site, h, 0) == "drop"
+            for h in hashes for site in ("serve-dispatch", "serve-result")
+        )
+        dups = sum(
+            c.net_fault(site, h, a) == "dup"
+            for h in hashes for site in ("serve-dispatch", "serve-result")
+            for a in (0, 1)
+        )
+        if kills >= 1 and drops >= 1 and dups >= 1:
+            return c
+    raise AssertionError("no seed injects enough faults; widen the search")
+
+
+def test_chaotic_cluster_matches_golden(tmp_path, golden):
+    """Acceptance: >= 2 workers under worker kills + dropped/duplicated/
+    delayed frames — byte-identical results, then a zero-simulation
+    repeat submission."""
+    jobs = grid_jobs()
+    chaos = chaos_for([j.content_hash() for j in jobs])
+    with LocalCluster(
+        workers=2, cache_dir=tmp_path / "cache",
+        journal_dir=tmp_path / "journal", chaos=chaos, respawn=True,
+        retries=8, timeout=5.0, heartbeat_grace=2.0,
+    ) as cluster:
+        cold, cold_report = execute_remote(jobs, cluster.url)
+        warm, warm_report = execute_remote(jobs, cluster.url)
+    assert canon(cold) == golden
+    assert cold_report.failed == 0
+    # At least one attempt died with its worker and was re-dispatched.
+    assert cold_report.retried >= 1
+    assert canon(warm) == golden
+    assert warm_report.simulated == 0
+
+
+# ----------------------------------------------------------------------
+# the journal as replication log: server restart, zero re-simulation
+# ----------------------------------------------------------------------
+def test_server_restart_resumes_from_journal(tmp_path, golden):
+    jobs = grid_jobs()
+    journal_dir = tmp_path / "journal"  # no cache: the journal alone
+    with LocalCluster(workers=2, journal_dir=journal_dir,
+                      retries=2, timeout=60.0) as cluster:
+        first, first_report = execute_remote(jobs, cluster.url)
+    assert canon(first) == golden
+    assert first_report.simulated == len(jobs)
+
+    # "Restart": a brand-new server process over the same journal root.
+    with LocalCluster(workers=2, journal_dir=journal_dir,
+                      retries=2, timeout=60.0) as cluster:
+        again, report = execute_remote(jobs, cluster.url)
+    assert canon(again) == golden
+    assert report.simulated == 0
+    assert report.resumed == len(jobs)
