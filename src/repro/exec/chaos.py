@@ -40,6 +40,16 @@ indistinguishable from a lost worker — the server's deadline/watchdog
 machinery re-shards the job, and the headline invariant still holds:
 the sweep's results are byte-identical to a fault-free single-host run
 (``tests/test_serve.py``).
+
+Two further serve-side faults exercise the *overload* machinery:
+``net_refuse`` makes a client connection attempt fail with a refusal
+(as if the server were down or its listen backlog full), keyed by
+``(site, server, attempt)`` so client backoff retries converge; and
+``slow`` makes a worker *heartbeat-but-slow* — it keeps beating (so
+the hang watchdog stays quiet) yet sits on the job for
+``slow_seconds`` before running it, which only the per-job deadline
+can reap. Together they drive the client circuit breaker, fair-share
+backpressure and degraded-mode fallback paths.
 """
 
 from __future__ import annotations
@@ -97,6 +107,15 @@ class ChaosConfig:
     net_delay_p: float = 0.0
     #: Upper bound of an injected network delay, seconds.
     net_delay_max: float = 0.05
+    #: Probability a client connection attempt is refused outright
+    #: (``ConnectionRefusedError``), as if the server were down.
+    net_refuse_p: float = 0.0
+    #: Probability a worker goes *heartbeat-but-slow* on a job attempt:
+    #: it keeps beating but sleeps ``slow_seconds`` before running, so
+    #: only the per-job deadline (never the hang watchdog) can reap it.
+    slow_p: float = 0.0
+    #: How long a slow worker sits on the job before running it.
+    slow_seconds: float = 0.25
 
     # ------------------------------------------------------------------
     @property
@@ -106,7 +125,7 @@ class ChaosConfig:
             p > 0.0
             for p in (self.kill_p, self.hang_p, self.delay_p, self.dup_p,
                       self.corrupt_p, self.net_drop_p, self.net_dup_p,
-                      self.net_delay_p)
+                      self.net_delay_p, self.net_refuse_p, self.slow_p)
         )
 
     @property
@@ -138,7 +157,8 @@ class ChaosConfig:
             "kill": "kill_p", "hang": "hang_p", "delay": "delay_p",
             "dup": "dup_p", "corrupt": "corrupt_p",
             "net_drop": "net_drop_p", "net_dup": "net_dup_p",
-            "net_delay": "net_delay_p",
+            "net_delay": "net_delay_p", "net_refuse": "net_refuse_p",
+            "slow": "slow_p",
         }
         known = {f.name: f for f in fields(cls)}
         kwargs: dict[str, object] = {}
@@ -222,6 +242,26 @@ class ChaosConfig:
             return 0.0
         return (self._u("net-delay-len", site, key, attempt)
                 * self.net_delay_max)
+
+    def should_refuse(self, site: str, key: str, attempt: int) -> bool:
+        """Whether a client connection attempt is refused outright.
+
+        Keyed by ``(site, key, attempt)`` — typically ``key`` is the
+        server URL and ``attempt`` the client's retry counter — so a
+        backing-off client draws fresh refusal decisions each retry and
+        terminal refusal has probability ``p**(retries+1)``, the same
+        convergence shape as every other injected fault.
+        """
+        return self._u("net-refuse", site, key, attempt) < self.net_refuse_p
+
+    def slow_delay(self, job_hash: str, attempt: int) -> float:
+        """Seconds a heartbeat-but-slow worker sits on this attempt
+        before running it; 0 = full speed. Unlike :meth:`should_hang`
+        the worker keeps heartbeating throughout, so the hang watchdog
+        must stay quiet and only the per-job deadline can intervene."""
+        if self._u("slow", job_hash, attempt) >= self.slow_p:
+            return 0.0
+        return self.slow_seconds
 
     def cache_fault(self, key: str) -> str | None:
         """None, or how the entry write for ``key`` is damaged:

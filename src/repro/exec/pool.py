@@ -155,6 +155,16 @@ class ExecutorConfig:
     #: server's worker fleet; ``jobs``/``timeout``/``watchdog`` become
     #: server-side concerns. See docs/distributed.md.
     server: str | None = None
+    #: Submitter id attached to remote submissions (fair-share
+    #: attribution on the server); None submits anonymously.
+    submitter: str | None = None
+    #: Degraded mode: when the remote client's circuit breaker gives
+    #: up on ``server`` (repeated connection refusals / 429s), fall
+    #: back to executing locally against the same ``cache_dir`` and
+    #: ``journal_dir`` instead of raising. Byte-identical results by
+    #: construction — content-addressed jobs do not care where they
+    #: run (test-enforced).
+    allow_local_fallback: bool = False
 
     @classmethod
     def from_env(cls, default_cache: bool = False) -> "ExecutorConfig":
@@ -168,7 +178,10 @@ class ExecutorConfig:
         ``REPRO_CHAOS`` configures fault injection (see
         :mod:`repro.exec.chaos`); ``REPRO_WATCHDOG`` overrides the hung
         -worker grace in seconds (``0`` disables); ``REPRO_SERVER``
-        routes execution to a remote sweep server.
+        routes execution to a remote sweep server;
+        ``REPRO_SUBMITTER`` names this client for the server's
+        fair-share accounting; ``REPRO_FALLBACK=1`` enables the
+        degraded-mode local fallback when the server is unreachable.
         """
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
         cache_flag = os.environ.get("REPRO_CACHE")
@@ -188,6 +201,11 @@ class ExecutorConfig:
             chaos=ChaosConfig.from_env(),
             watchdog=watchdog,
             server=os.environ.get("REPRO_SERVER", "").strip() or None,
+            submitter=(os.environ.get("REPRO_SUBMITTER", "").strip()
+                       or None),
+            allow_local_fallback=(
+                os.environ.get("REPRO_FALLBACK", "0") not in ("", "0")
+            ),
         )
 
     def with_cache_dir(self, cache_dir: str | Path | None) -> "ExecutorConfig":
@@ -237,10 +255,24 @@ def execute_jobs(jobs: Sequence[SimJob],
         # Remote execution: the sweep server's ledger does the
         # journalling/caching server-side; imported lazily so local
         # execution never pays for the client.
-        from repro.serve.client import execute_remote
+        from repro.serve.client import CircuitOpenError, SweepClient
 
-        results, report = execute_remote(jobs, cfg.server,
-                                         progress=progress)
+        client = SweepClient(
+            cfg.server,
+            submitter=cfg.submitter or "anonymous",
+            chaos=cfg.chaos,
+        )
+        try:
+            results, report = client.execute(jobs, progress)
+        except CircuitOpenError:
+            if not cfg.allow_local_fallback:
+                raise
+            # Degraded mode: the breaker gave up on the server. Run
+            # the batch locally against the same cache and journal —
+            # content-addressed jobs yield byte-identical results
+            # regardless of where they execute (test-enforced).
+            return execute_jobs(jobs, replace(cfg, server=None),
+                                progress)
         if report.job_failures and not cfg.tolerate_failures:
             raise ExecutionError(report.job_failures, report)
         if cfg.tolerate_failures:
@@ -354,6 +386,11 @@ def _worker_main(job: SimJob, job_hash: str, attempt: int, conn, hb_conn,
             if chaos.should_hang(job_hash, attempt):
                 stop.set()  # a hung worker stops making progress
                 _sleep(chaos.hang_seconds)
+            slow = chaos.slow_delay(job_hash, attempt)
+            if slow > 0.0:
+                # Heartbeat-but-slow: the beat thread keeps ticking, so
+                # only the per-job timeout (never the watchdog) applies.
+                _sleep(slow)
             if kill_point == "early":
                 os._exit(CHAOS_EXIT_CODE)
         payload = job.run()

@@ -14,26 +14,43 @@ execution:
   worker: rebuilds jobs from fingerprints, executes, ships
   checksummed results;
 * :mod:`repro.serve.policy`   — pluggable :class:`AllocationPolicy`
-  (consistent hash ring by default; least-loaded and LJF variants) —
-  all placement-only, never result-affecting;
+  (consistent hash ring by default; least-loaded, LJF and weighted
+  fair-share variants) — all placement/ordering-only, never
+  result-affecting;
 * :mod:`repro.serve.protocol` / :mod:`repro.serve.http` — the NDJSON
   frame protocol (with deterministic network-fault injection) and the
   minimal stdlib HTTP layer;
 * :mod:`repro.serve.client`   — the synchronous client;
   ``ExecutorConfig(server=...)`` (or ``REPRO_SERVER``) routes any
-  existing sweep through it unchanged;
+  existing sweep through it unchanged. :class:`SweepClient` adds
+  seeded-backoff retries, a per-server :class:`CircuitBreaker` and
+  drop-surviving event streams on top of the one-shot calls;
 * :mod:`repro.serve.cluster`  — :class:`LocalCluster`, the loopback
   server+workers harness used by tests, CI and ``make serve-smoke``.
 
+The server is overload-safe: an in-flight budget admits or queues
+submissions (429 + ``Retry-After`` beyond the bounded backlog), the
+``fair-share`` policy shares worker slots across submitters by
+weighted deficit round-robin, ``POST /v1/admin/drain`` (or SIGTERM
+under ``python -m repro.serve server``) winds the server down with the
+journal as the replication log, and ``GET /v1/health`` reports queue
+depth, per-submitter shares, worker liveness and drain state.
+
 The test-enforced headline invariant: a sweep executed by this service
-— with worker churn, dropped/duplicated/delayed messages and worker
-kills injected — completes with results byte-identical to a fault-free
-single-host :func:`repro.exec.execute_jobs` run, and a repeat
-submission simulates nothing. See docs/distributed.md.
+— with worker churn, dropped/duplicated/delayed messages, connection
+refusals and worker kills injected, even across a drain + restart —
+completes with results byte-identical to a fault-free single-host
+:func:`repro.exec.execute_jobs` run, and a repeat submission simulates
+nothing. See docs/distributed.md.
 """
 
 from repro.serve.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
     ServerError,
+    SweepClient,
+    SweepInterrupted,
     cache_stats,
     execute_remote,
     fetch_results,
@@ -45,9 +62,11 @@ from repro.serve.cluster import LocalCluster
 from repro.serve.policy import (
     POLICIES,
     AllocationPolicy,
+    FairSharePolicy,
     HashRingPolicy,
     LeastLoadedPolicy,
     LJFPolicy,
+    QueueEntry,
     WorkerView,
     make_policy,
     ring_assign,
@@ -58,12 +77,19 @@ from repro.serve.worker import WorkerAgent, run_worker
 __all__ = [
     "POLICIES",
     "AllocationPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FairSharePolicy",
     "HashRingPolicy",
     "LJFPolicy",
     "LeastLoadedPolicy",
     "LocalCluster",
+    "QueueEntry",
+    "RetryPolicy",
     "ServerError",
     "Sweep",
+    "SweepClient",
+    "SweepInterrupted",
     "SweepServer",
     "WorkerAgent",
     "WorkerView",

@@ -10,7 +10,10 @@ Usage::
     python -m repro.serve submit --server http://host:8742 \\
         --threads 2 --schedulers traditional,2op_ooo --iq-sizes 8,16
 
+    python -m repro.serve drain --server http://host:8742
+
     python -m repro.serve smoke --workers 2       # golden-match check
+    python -m repro.serve overload-smoke          # backpressure drill
 
 ``smoke`` is the distributed analogue of ``python -m repro.exec
 chaos-smoke``: it runs a small grid on a single host (the golden), then
@@ -18,6 +21,19 @@ cold and warm through a loopback cluster, and fails unless the cluster
 results are byte-identical to the golden and the warm re-submission
 simulates nothing. ``REPRO_CHAOS`` (including the ``net_*`` knobs)
 applies to the cluster run, making this a one-command fault drill.
+
+``overload-smoke`` is the same idea for the overload machinery: N
+concurrent submitters race distinct grids into a server whose
+admission budget is a single job, and the drill fails unless
+backpressure engaged (at least one submission was queued), every
+submitter's results are byte-identical to its own single-host golden
+run, no submitter starved, and a warm resubmission simulates nothing.
+
+The server drains gracefully on SIGTERM (or ``drain``/the
+``POST /v1/admin/drain`` endpoint): in-flight jobs get ``--drain-grace``
+seconds to finish, the rest are journalled as ``interrupted``, and a
+restarted server resumes them with zero re-simulation. See
+"Operating under load" in docs/distributed.md.
 """
 
 from __future__ import annotations
@@ -33,6 +49,7 @@ from repro.serve.policy import POLICIES
 
 def _cmd_server(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.serve.server import SweepServer
 
@@ -43,22 +60,51 @@ def _cmd_server(args: argparse.Namespace) -> int:
         timeout=args.timeout, heartbeat_grace=args.heartbeat_grace,
         chaos=ChaosConfig.from_env(),
         rotate_bytes=args.rotate_bytes,
+        max_in_flight=args.max_in_flight, max_queue=args.max_queue,
+        drain_grace=args.drain_grace,
     )
 
     async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        stopped = asyncio.Event()
+
+        async def _drain_and_stop() -> None:
+            summary = await server.drain()
+            print(f"drained: {summary['finished']} job(s) finished, "
+                  f"{summary['interrupted']} journalled as interrupted "
+                  f"(resume by resubmitting against the same journal)")
+            stopped.set()
+
+        def _on_sigterm() -> None:
+            # SIGTERM = graceful drain: finish in-flight work against
+            # the grace deadline, journal the rest, then exit.
+            if server.state == "serving":
+                asyncio.ensure_future(_drain_and_stop())
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+        except (NotImplementedError, RuntimeError):  # repro: noqa[RPR007] — no signal support on this platform/thread; SIGTERM drain is then simply unavailable, ^C still works
+            pass
         port = await server.start()
         print(f"sweep server listening on http://{args.host}:{port} "
               f"(policy={server.policy.name}, "
               f"cache={args.cache_dir or 'off'}, "
-              f"journal={args.journal_dir or 'off'})")
+              f"journal={args.journal_dir or 'off'}, "
+              f"budget={args.max_in_flight or 'unbounded'})")
         assert server._server is not None
         async with server._server:
-            await server._server.serve_forever()
+            forever = asyncio.ensure_future(
+                server._server.serve_forever())
+            waiter = asyncio.ensure_future(stopped.wait())
+            await asyncio.wait({forever, waiter},
+                               return_when=asyncio.FIRST_COMPLETED)
+            forever.cancel()
+            waiter.cancel()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:  # repro: noqa[RPR007] — Ctrl-C is the
-        pass                   # server's normal shutdown path
+        pass                   # server's hard-stop path (SIGTERM drains)
     return 0
 
 
@@ -71,8 +117,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.serve.client import fetch_results, stream_events, submit
+    from repro.serve.client import SweepClient
 
+    client = SweepClient(args.server, submitter=args.submitter,
+                         weight=args.weight)
     grid = {
         "profile": args.profile,
         "threads": args.threads,
@@ -81,31 +129,42 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "max_insns": args.insns,
         "seed": args.seed,
     }
-    reply = submit(args.server, {"grid": grid})
+    reply = client.submit({"grid": grid})
     sweep_id = reply["sweep"]
     print(f"sweep {sweep_id}: {reply['total']} job(s), "
-          f"status {reply['status']}"
+          f"status {reply['status']}, "
+          f"admission {reply.get('admission', 'admitted')}"
           f"{' (attached to in-flight run)' if reply['attached'] else ''}")
-    for event in stream_events(args.server, sweep_id):
+    for event in client.stream_events(sweep_id):
         kind = event.get("event")
         if kind in ("cached", "resumed", "simulated", "failed"):
             print(f"  [{event['completed']}/{event['total']}] "
                   f"{kind}: {event['job'][:16]}")
-    _, report = fetch_results(args.server, sweep_id)
+    _, report = client.fetch_results(sweep_id)
     print(f"done: {report.simulated} simulated, {report.cached} cached, "
           f"{report.resumed} resumed, {report.failed} failed, "
           f"{report.retried} retried")
     return 1 if report.failed else 0
 
 
-def _smoke_jobs(insns: int) -> list:
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from repro.serve.client import SweepClient
+
+    client = SweepClient(args.server)
+    summary = client.drain(args.grace)
+    print(f"drained: {summary['finished']} job(s) finished, "
+          f"{summary['interrupted']} journalled as interrupted")
+    return 0
+
+
+def _smoke_jobs(insns: int, seed: int = 0) -> list:
     from repro.config.presets import small_machine
     from repro.exec.jobs import jobs_for_grid
     from repro.workloads.mixes import TWO_THREAD_MIXES
 
     keyed = jobs_for_grid(
         TWO_THREAD_MIXES[:2], small_machine(),
-        ("traditional", "2op_ooo"), (8, 16), insns, 0,
+        ("traditional", "2op_ooo"), (8, 16), insns, seed,
     )
     return [job for _, job in keyed]
 
@@ -162,6 +221,99 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload_smoke(args: argparse.Namespace) -> int:
+    """Backpressure drill: concurrent submitters against a tiny job
+    budget must all complete byte-identically, fairly, and a warm
+    resubmission must simulate nothing."""
+    import threading
+
+    from repro.serve.client import SweepClient
+    from repro.serve.cluster import LocalCluster
+
+    grids = [_smoke_jobs(args.insns, seed=i)
+             for i in range(args.submitters)]
+    goldens = [execute_jobs(jobs, ExecutorConfig(jobs=1))[0]
+               for jobs in grids]
+
+    def run_all(cluster: LocalCluster, phase: str,
+                ) -> tuple[list, list, list[dict]]:
+        outs: list = [None] * len(grids)
+        reports: list = [None] * len(grids)
+        errors: list = []
+        replies: list[dict] = []
+
+        def submitter(i: int) -> None:
+            client = SweepClient(cluster.url, submitter=f"s{i}")
+            try:
+                reply = client.submit({"jobs": [
+                    j.fingerprint_payload() for j in grids[i]]})
+                replies.append(reply)
+                for _ in client.stream_events(str(reply["sweep"])):
+                    pass
+                outs[i], reports[i] = client.fetch_results(
+                    str(reply["sweep"]))
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(f"{phase} submitter s{i}: {exc}")
+
+        threads = [threading.Thread(target=submitter, args=(i,))
+                   for i in range(len(grids))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            for line in errors:
+                print(f"overload smoke FAILED: {line}",
+                      file=sys.stderr)
+            raise SystemExit(1)
+        return outs, reports, replies
+
+    with tempfile.TemporaryDirectory() as cache_dir, \
+            tempfile.TemporaryDirectory() as journal_dir, \
+            LocalCluster(
+                workers=args.workers, cache_dir=cache_dir,
+                journal_dir=journal_dir, policy="fair-share",
+                retries=8, timeout=10.0, heartbeat_grace=2.0,
+                max_in_flight=args.budget, max_queue=args.queue,
+            ) as cluster:
+        cold, cold_reports, cold_replies = run_all(cluster, "cold")
+        warm, warm_reports, _ = run_all(cluster, "warm")
+        health = SweepClient(cluster.url).health()
+
+    for i, golden in enumerate(goldens):
+        for label, outs in (("cold", cold), ("warm", warm)):
+            if [p.result for p in outs[i]] != [p.result for p in golden]:
+                print(f"overload smoke FAILED: {label} results for "
+                      f"submitter s{i} differ from its single-host "
+                      f"golden run", file=sys.stderr)
+                return 1
+    if not any(r.get("admission") == "queued" for r in cold_replies):
+        print("overload smoke FAILED: no submission was queued — the "
+              f"budget of {args.budget} never engaged", file=sys.stderr)
+        return 1
+    warm_simulated = sum(r.simulated for r in warm_reports)
+    if warm_simulated:
+        print(f"overload smoke FAILED: warm resubmission simulated "
+              f"{warm_simulated} job(s); expected 0", file=sys.stderr)
+        return 1
+    shares = health.get("submitters", {})
+    starved = [f"s{i}" for i in range(len(grids))
+               if not shares.get(f"s{i}", {}).get("completed")]
+    if starved:
+        print(f"overload smoke FAILED: submitter(s) {starved} have no "
+              f"completions in /v1/health", file=sys.stderr)
+        return 1
+    total = sum(r.total for r in cold_reports)
+    print(
+        f"ok: {len(grids)} submitters x {total // len(grids)} jobs "
+        f"against a {args.budget}-slot budget on {args.workers} "
+        f"worker(s) — backpressure engaged, every submitter completed "
+        f"byte-identically to its golden run, warm resubmission "
+        f"simulated 0"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -187,6 +339,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--heartbeat-grace", type=float, default=5.0)
     p.add_argument("--rotate-bytes", type=int, default=4 * 1024 * 1024,
                    help="journal size-rotation threshold")
+    p.add_argument("--max-in-flight", type=int, default=None,
+                   help="admission budget: unresolved jobs beyond this "
+                        "are queued (unbounded when omitted)")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="backlog headroom past the budget before "
+                        "submissions get 429 (unbounded when omitted)")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="seconds in-flight jobs get to finish on "
+                        "drain/SIGTERM before being journalled as "
+                        "interrupted")
 
     p = sub.add_parser("worker", help="attach a worker agent")
     p.add_argument("--connect", required=True,
@@ -205,6 +367,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--iq-sizes", default="8,16")
     p.add_argument("--insns", type=int, default=2000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--submitter", default="anonymous",
+                   help="submitter id for the server's fair-share "
+                        "accounting")
+    p.add_argument("--weight", type=float, default=1.0,
+                   help="fair-share weight of this submitter")
+
+    p = sub.add_parser("drain", help="gracefully drain a server")
+    p.add_argument("--server", required=True)
+    p.add_argument("--grace", type=float, default=None,
+                   help="override the server's drain grace, seconds")
 
     p = sub.add_parser(
         "smoke",
@@ -216,6 +388,20 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--policy", choices=sorted(POLICIES),
                    default="hash-ring")
 
+    p = sub.add_parser(
+        "overload-smoke",
+        help="assert concurrent submitters against a tiny job budget "
+             "all complete fairly, byte-identically and with zero "
+             "re-simulation on resubmit",
+    )
+    p.add_argument("--insns", type=int, default=300)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--submitters", type=int, default=3)
+    p.add_argument("--budget", type=int, default=1,
+                   help="server --max-in-flight")
+    p.add_argument("--queue", type=int, default=64,
+                   help="server --max-queue")
+
     args = parser.parse_args(argv)
     if args.command == "server":
         return _cmd_server(args)
@@ -223,6 +409,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "drain":
+        return _cmd_drain(args)
+    if args.command == "overload-smoke":
+        return _cmd_overload_smoke(args)
     return _cmd_smoke(args)
 
 

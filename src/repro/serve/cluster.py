@@ -14,7 +14,10 @@ forked processes (like the local farm's) each running a
 With ``respawn=True`` a supervisor thread restarts any worker that
 dies — which is exactly what chaos worker-kills need: the replacement
 attaches under a fresh name, the hash ring re-shards, and the sweep
-still completes byte-identically.
+still completes byte-identically. A worker that keeps dying (e.g. the
+server is draining and waves every attach off) is respawned with
+capped exponential backoff rather than in a tight flap loop; a worker
+that stays up resets the backoff.
 """
 
 from __future__ import annotations
@@ -29,11 +32,20 @@ from repro.exec.chaos import ChaosConfig
 from repro.serve.server import SweepServer
 from repro.serve.worker import run_worker
 
-#: How long __enter__ waits for the fleet to attach before failing.
+#: Default for ``attach_timeout``: how long __enter__ waits for the
+#: fleet to attach before failing.
 _ATTACH_TIMEOUT = 30.0
 
-#: Supervisor poll period for dead workers.
+#: Supervisor poll period for dead workers; also the base of the
+#: respawn backoff.
 _RESPAWN_POLL = 0.1
+
+#: Ceiling on the per-worker respawn backoff.
+_RESPAWN_BACKOFF_CAP = 2.0
+
+#: A worker that survives this long is considered healthy: the next
+#: respawn starts from the base backoff again.
+_RESPAWN_HEALTHY_AFTER = 1.0
 
 
 def _worker_process(url: str, slots: int, name: str,
@@ -54,27 +66,39 @@ class LocalCluster:
                  heartbeat_grace: float = 5.0,
                  chaos: ChaosConfig | None = None,
                  rotate_bytes: int | None = None,
-                 respawn: bool = False) -> None:
+                 respawn: bool = False,
+                 attach_timeout: float = _ATTACH_TIMEOUT,
+                 max_in_flight: int | None = None,
+                 max_queue: int | None = None,
+                 drain_grace: float | None = None) -> None:
         self.num_workers = workers
         self.slots = slots
         self.chaos = chaos
         self.respawn = respawn
+        self.attach_timeout = attach_timeout
+        server_kwargs: dict = {}
+        if drain_grace is not None:
+            server_kwargs["drain_grace"] = drain_grace
         self.server = SweepServer(
             cache_dir=cache_dir, journal_dir=journal_dir, policy=policy,
             retries=retries, timeout=timeout,
             heartbeat_grace=heartbeat_grace, chaos=chaos,
             rotate_bytes=rotate_bytes,
+            max_in_flight=max_in_flight, max_queue=max_queue,
+            **server_kwargs,
         )
         self.url: str = ""
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._procs: list = []
+        #: proc -> (spawn time, backoff to apply if it dies quickly).
+        self._spawn_info: dict = {}
         self._spawned = 0
         self._stop = threading.Event()
         self._supervisor: threading.Thread | None = None
 
     # ------------------------------------------------------------------
-    def _spawn_worker(self) -> None:
+    def _spawn_worker(self, backoff: float = _RESPAWN_POLL) -> None:
         ctx = multiprocessing.get_context("fork")
         self._spawned += 1
         proc = ctx.Process(
@@ -84,16 +108,36 @@ class LocalCluster:
         )
         proc.start()
         self._procs.append(proc)
+        self._spawn_info[proc] = (_monotonic(), backoff)
 
     def _supervise(self) -> None:
         """Respawn dead workers so chaos kills cause churn, not
-        starvation."""
+        starvation — with capped exponential backoff per flapping
+        worker so a refusing/draining server is probed gently, not
+        hammered."""
+        pending: list[tuple[float, float]] = []  # (due time, backoff)
         while not self._stop.wait(_RESPAWN_POLL):
+            now = _monotonic()
             for proc in list(self._procs):
-                if not proc.is_alive():
-                    proc.join()
-                    self._procs.remove(proc)
-                    self._spawn_worker()
+                if proc.is_alive():
+                    continue
+                proc.join()
+                self._procs.remove(proc)
+                born, backoff = self._spawn_info.pop(
+                    proc, (now, _RESPAWN_POLL))
+                if now - born >= _RESPAWN_HEALTHY_AFTER:
+                    # Lived long enough to count as healthy: the
+                    # replacement starts from the base backoff.
+                    pending.append((now, _RESPAWN_POLL))
+                else:
+                    pending.append((
+                        now + backoff,
+                        min(backoff * 2.0, _RESPAWN_BACKOFF_CAP),
+                    ))
+            due = [p for p in pending if p[0] <= now]
+            pending = [p for p in pending if p[0] > now]
+            for _, next_backoff in due:
+                self._spawn_worker(next_backoff)
 
     def _attached_workers(self) -> int:
         assert self._loop is not None
@@ -116,14 +160,14 @@ class LocalCluster:
         self.url = f"http://127.0.0.1:{port}"
         for _ in range(self.num_workers):
             self._spawn_worker()
-        deadline = _monotonic() + _ATTACH_TIMEOUT
+        deadline = _monotonic() + self.attach_timeout
         while self._attached_workers() < self.num_workers:
             if _monotonic() > deadline:
                 self._teardown()
                 raise TimeoutError(
                     f"only {self._attached_workers()} of "
                     f"{self.num_workers} workers attached within "
-                    f"{_ATTACH_TIMEOUT:g}s"
+                    f"{self.attach_timeout:g}s"
                 )
             _sleep(0.02)
         if self.respawn:
@@ -133,6 +177,17 @@ class LocalCluster:
             )
             self._supervisor.start()
         return self
+
+    def drain(self, grace: float | None = None) -> dict:
+        """Drain the server from the harness thread (see
+        :meth:`SweepServer.drain`); workers exit on the shutdown frame
+        and, with ``respawn=True``, their replacements are waved off
+        by the draining server and backed off by the supervisor."""
+        assert self._loop is not None
+        fut = asyncio.run_coroutine_threadsafe(
+            self.server.drain(grace), self._loop
+        )
+        return fut.result(timeout=(grace or self.server.drain_grace) + 30.0)
 
     def _teardown(self) -> None:
         self._stop.set()
@@ -149,6 +204,7 @@ class LocalCluster:
             else:
                 proc.join()
         self._procs.clear()
+        self._spawn_info.clear()
         if self._loop is not None:
             asyncio.run_coroutine_threadsafe(
                 self.server.stop(), self._loop

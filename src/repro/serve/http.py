@@ -32,6 +32,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -118,13 +119,18 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
 
 
 def response_bytes(status: int, body: bytes,
-                   content_type: str = "application/json") -> bytes:
-    """One complete ``Connection: close`` response."""
+                   content_type: str = "application/json",
+                   headers: dict[str, str] | None = None) -> bytes:
+    """One complete ``Connection: close`` response. ``headers`` adds
+    extra response headers (e.g. ``Retry-After`` on a 429/503)."""
     reason = _REASONS.get(status, "Unknown")
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: close\r\n"
         "\r\n"
     )
@@ -132,18 +138,25 @@ def response_bytes(status: int, body: bytes,
 
 
 async def send_json(writer: asyncio.StreamWriter, status: int,
-                    payload: object) -> None:
+                    payload: object,
+                    headers: dict[str, str] | None = None) -> None:
     """Encode ``payload`` (sorted keys — byte-stable) and send it."""
     body = json.dumps(
         payload, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
-    writer.write(response_bytes(status, body))
+    writer.write(response_bytes(status, body, headers=headers))
     await writer.drain()
 
 
 async def send_error(writer: asyncio.StreamWriter, status: int,
-                     message: str) -> None:
-    await send_json(writer, status, {"error": message})
+                     message: str,
+                     headers: dict[str, str] | None = None,
+                     **fields: object) -> None:
+    """One structured error body: ``{"error": ..., **fields}`` — the
+    extra fields are how a 429 carries its machine-readable
+    ``retry_after``/queue occupancy alongside the header."""
+    await send_json(writer, status, {"error": message, **fields},
+                    headers=headers)
 
 
 async def start_stream(writer: asyncio.StreamWriter,

@@ -23,6 +23,20 @@ therefore only trade off locality and load balance:
     anti-straggler heuristic, see :func:`repro.exec.pool.execute_jobs`)
     combined with least-loaded placement.
 
+``fair-share``
+    Weighted deficit round-robin over *submitters*: each submitter's
+    pending jobs form a virtual queue, and every round each queue
+    earns ``weight x quantum`` of deficit to spend on its own jobs in
+    submission order. One huge grid can no longer starve a small one —
+    worker slots are shared in proportion to weight, which is the
+    paper's IQ lesson (a shared structure collapses under unregulated
+    contention; dispatch policy must arbitrate it) applied to the
+    server's shared job queue. Placement rides least-loaded.
+
+Every policy is **placement/ordering-only**: byte-identical sweep
+results under any policy is test-enforced, because a job's result
+depends only on its content, never on where or when it ran.
+
 Selection: ``python -m repro.serve server --policy NAME`` or
 :func:`make_policy`.
 """
@@ -53,6 +67,24 @@ class WorkerView:
     @property
     def free(self) -> int:
         return self.slots - self.in_flight
+
+
+@dataclass(frozen=True, slots=True)
+class QueueEntry:
+    """What a policy may know about one queued job."""
+
+    hash: str
+    #: Relative cost estimate (``max_insns``-shaped, policy-agnostic).
+    cost: float
+    #: Submitter id carried in the submission that first enqueued the
+    #: job (dedup waiters from other submitters ride along for free).
+    submitter: str = "anonymous"
+    #: The submitter's fair-share weight (>= 0; 0 never starves — it
+    #: is clamped to a minimal share).
+    weight: float = 1.0
+    #: Server-wide enqueue sequence number: the submission-order
+    #: tiebreak every ordering falls back to.
+    seq: int = 0
 
 
 def _ring_point(label: str) -> int:
@@ -88,11 +120,10 @@ class AllocationPolicy:
 
     name = "base"
 
-    def queue_order(self, pending: Sequence[tuple[str, float]],
-                    ) -> list[str]:
-        """Dispatch order for ``(job hash, cost estimate)`` pairs.
-        Default: submission order."""
-        return [h for h, _ in pending]
+    def queue_order(self, pending: Sequence[QueueEntry]) -> list[str]:
+        """Dispatch order for the pending :class:`QueueEntry` items.
+        Default: submission order (enqueue sequence)."""
+        return [e.hash for e in sorted(pending, key=lambda e: e.seq)]
 
     def pick_worker(self, job_hash: str, cost: float,
                     workers: Sequence[WorkerView]) -> str | None:
@@ -146,16 +177,84 @@ class LJFPolicy(LeastLoadedPolicy):
 
     name = "ljf"
 
-    def queue_order(self, pending: Sequence[tuple[str, float]],
-                    ) -> list[str]:
-        return [h for h, _ in
-                sorted(pending, key=lambda p: (-p[1], p[0]))]
+    def queue_order(self, pending: Sequence[QueueEntry]) -> list[str]:
+        return [e.hash for e in
+                sorted(pending, key=lambda e: (-e.cost, e.hash))]
+
+
+#: Floor applied to a submitter's weight so a zero/negative weight can
+#: deprioritise but never fully starve a submitter (starvation-freedom
+#: is the point of the policy).
+MIN_WEIGHT = 1e-3
+
+
+class FairSharePolicy(LeastLoadedPolicy):
+    """Per-submitter weighted deficit round-robin (DRR) ordering.
+
+    Each submitter owns a virtual FIFO of its pending jobs (enqueue
+    sequence order). Rounds visit submitters in sorted-name order;
+    each visit credits the submitter's *deficit counter* with
+    ``weight x quantum`` (quantum = the largest pending cost, so every
+    round lets a weight-1 submitter afford at least its cheapest job)
+    and then emits that submitter's jobs front-to-back while the
+    deficit covers their cost. Leftover deficit carries across rounds
+    — and across dispatch cycles while the submitter stays backlogged
+    — so long-run worker-slot shares converge to the weight ratio even
+    with heterogeneous job costs. A submitter whose queue drains loses
+    its accumulated deficit (classic DRR: you cannot bank credit while
+    idle).
+
+    Ordering-only by construction: the emitted list is a permutation
+    of the pending hashes, and placement is inherited least-loaded.
+    """
+
+    name = "fair-share"
+
+    def __init__(self) -> None:
+        #: Deficit carried per backlogged submitter between calls.
+        self._deficit: dict[str, float] = {}
+
+    def queue_order(self, pending: Sequence[QueueEntry]) -> list[str]:
+        queues: dict[str, list[QueueEntry]] = {}
+        weights: dict[str, float] = {}
+        for entry in sorted(pending, key=lambda e: e.seq):
+            queues.setdefault(entry.submitter, []).append(entry)
+            weights[entry.submitter] = max(entry.weight, MIN_WEIGHT)
+        # Idle submitters forfeit banked deficit (standard DRR reset).
+        self._deficit = {s: d for s, d in self._deficit.items()
+                         if s in queues}
+        if not queues:
+            return []
+        quantum = max(e.cost for e in pending) or 1.0
+        order: list[str] = []
+        heads = {s: 0 for s in queues}
+        while len(order) < len(pending):
+            for submitter in sorted(queues):
+                queue = queues[submitter]
+                head = heads[submitter]
+                if head >= len(queue):
+                    continue
+                credit = self._deficit.get(submitter, 0.0)
+                credit += quantum * weights[submitter]
+                while head < len(queue) and queue[head].cost <= credit:
+                    credit -= queue[head].cost
+                    order.append(queue[head].hash)
+                    head += 1
+                heads[submitter] = head
+                # Backlogged submitters bank the remainder (that is
+                # the "deficit" in DRR — a low-weight submitter saves
+                # up across rounds until it can afford its head job);
+                # a drained queue forfeits it (no banking while idle).
+                self._deficit[submitter] = (credit if head < len(queue)
+                                            else 0.0)
+        return order
 
 
 POLICIES: dict[str, type[AllocationPolicy]] = {
     HashRingPolicy.name: HashRingPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     LJFPolicy.name: LJFPolicy,
+    FairSharePolicy.name: FairSharePolicy,
 }
 
 

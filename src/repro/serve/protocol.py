@@ -11,6 +11,11 @@ server -> worker
         reconstruction payload (see ``SimJob.fingerprint_payload``), so
         the worker needs no shared filesystem.
     ``{"type": "shutdown"}``
+        Detach and exit. Sent when the server stops, at the end of a
+        graceful drain (after the grace window and the ``interrupted``
+        journal records), and — immediately after upgrade — to any
+        worker that attaches while the server is draining or drained,
+        so supervisors back their respawns off instead of flapping.
 
 worker -> server
     ``{"type": "hello", "name": ..., "slots": n, "pid": ...}``

@@ -26,6 +26,25 @@ single asyncio event loop (no locks):
   followed by re-submission — or ``{"resume": "<run-id>"}`` — replays
   completed grid points with zero re-simulation).
 
+Overload model (see docs/distributed.md "Operating under load"): the
+shared job queue is a contended structure exactly like the paper's
+shared issue queue, so the server regulates it explicitly instead of
+letting implicit FIFO decide. **Admission control** bounds unresolved
+jobs: up to ``max_in_flight`` a submission is ``admitted``; beyond
+that (but within ``max_in_flight + max_queue``) it is accepted
+``queued``; past the queue bound the submission gets a structured
+HTTP 429 with ``Retry-After``. **Fair share**: submissions carry a
+``submitter`` id and ``weight``; the ``fair-share`` policy runs
+weighted deficit round-robin over submitters so no grid starves
+another (ordering-only — bytes never change). **Graceful drain**
+(``POST /v1/admin/drain`` or SIGTERM): stop admitting, let dispatched
+jobs finish against a deadline, journal the remainder as
+``interrupted``, send workers the ``shutdown`` frame — a restart +
+resubmission then replays every completed point with zero
+re-simulation, the crash invariant extended to clean restarts.
+``GET /v1/health`` reports all of it: queue depth, per-submitter
+shares, worker liveness, drain state.
+
 Failure model (see docs/distributed.md): results are **exactly-once**
 — attempts are at-least-once (dropped frames, dead workers and
 deadlines re-dispatch; duplicate and late result frames for a resolved
@@ -56,7 +75,12 @@ from repro.serve.http import (
     send_json,
     start_stream,
 )
-from repro.serve.policy import AllocationPolicy, WorkerView, make_policy
+from repro.serve.policy import (
+    AllocationPolicy,
+    QueueEntry,
+    WorkerView,
+    make_policy,
+)
 from repro.serve.protocol import (
     FrameError,
     decode_result_frame,
@@ -71,6 +95,13 @@ DEFAULT_HEARTBEAT_GRACE = 5.0
 
 #: Period of the deadline/heartbeat sweep task.
 _TICK_SECONDS = 0.05
+
+#: Default drain grace: how long dispatched jobs get to finish before
+#: the remainder is journalled as ``interrupted``.
+DEFAULT_DRAIN_GRACE = 10.0
+
+#: Submitter id assumed when a submission does not carry one.
+DEFAULT_SUBMITTER = "anonymous"
 
 
 def _encode_body(payload: object) -> tuple[object, str]:
@@ -92,11 +123,43 @@ class Sweep:
     #: Live subscriber queues; a ``None`` item ends the stream.
     queues: list[asyncio.Queue] = field(default_factory=list)
     finished: bool = False
+    #: Who submitted it (fair-share attribution).
+    submitter: str = DEFAULT_SUBMITTER
+    #: Set when a drain journalled the sweep's remainder as
+    #: ``interrupted`` — it will never finish on this server; a
+    #: resubmission after restart resumes it.
+    interrupted: bool = False
 
     def emit(self, event: dict) -> None:
         self.events.append(event)
         for q in self.queues:
             q.put_nowait(event)
+
+    def end_streams(self) -> None:
+        for q in self.queues:
+            q.put_nowait(None)
+        self.queues.clear()
+
+
+@dataclass(slots=True)
+class _SubmitterShare:
+    """Fair-share bookkeeping for one submitter id."""
+
+    weight: float = 1.0
+    #: Sweeps this submitter has submitted (attach included).
+    sweeps: int = 0
+    #: Jobs first enqueued on this submitter's behalf.
+    submitted: int = 0
+    #: Of those, resolved successfully / failed terminally.
+    completed: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "weight": self.weight, "sweeps": self.sweeps,
+            "submitted": self.submitted, "completed": self.completed,
+            "failed": self.failed,
+        }
 
 
 @dataclass(slots=True)
@@ -114,6 +177,12 @@ class _JobState:
     error: str | None = None
     #: (sweep, index-in-that-sweep) pairs awaiting this hash.
     waiters: list[tuple[Sweep, int]] = field(default_factory=list)
+    #: Fair-share attribution: the submitter whose submission first
+    #: enqueued this hash, its weight, and the enqueue sequence number
+    #: (the submission-order tiebreak policies fall back to).
+    submitter: str = DEFAULT_SUBMITTER
+    weight: float = 1.0
+    seq: int = 0
 
 
 @dataclass(slots=True)
@@ -143,7 +212,10 @@ class SweepServer:
                  timeout: float | None = None,
                  heartbeat_grace: float = DEFAULT_HEARTBEAT_GRACE,
                  chaos: ChaosConfig | None = None,
-                 rotate_bytes: int | None = None) -> None:
+                 rotate_bytes: int | None = None,
+                 max_in_flight: int | None = None,
+                 max_queue: int | None = None,
+                 drain_grace: float = DEFAULT_DRAIN_GRACE) -> None:
         self.host = host
         self.port = port
         self.cache = (ResultCache(cache_dir, chaos=chaos)
@@ -157,14 +229,26 @@ class SweepServer:
         self.heartbeat_grace = heartbeat_grace
         self.chaos = chaos
         self.rotate_bytes = rotate_bytes
+        #: Admission budget: unresolved jobs up to this are ``admitted``
+        #: (dispatch-eligible immediately); None = unbounded.
+        self.max_in_flight = max_in_flight
+        #: Backlog headroom past the budget before submissions are
+        #: rejected with 429; None = unbounded backlog.
+        self.max_queue = max_queue
+        self.drain_grace = drain_grace
 
         self.sweeps: dict[str, Sweep] = {}
         self.jobs: dict[str, _JobState] = {}
         self.workers: dict[str, _Worker] = {}
+        #: Per-submitter fair-share registry (weights + counters).
+        self.submitters: dict[str, _SubmitterShare] = {}
+        #: "serving" | "draining" | "drained".
+        self.state = "serving"
         self._wake = asyncio.Event()
         self._server: asyncio.Server | None = None
         self._tasks: list[asyncio.Task] = []
         self._worker_seq = 0
+        self._enqueue_seq = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -211,8 +295,19 @@ class SweepServer:
     # submissions
     # ------------------------------------------------------------------
     def submit(self, jobs: list, run_id: str | None = None,
-               resume: bool = False) -> Sweep:
-        """Create (or attach to) the sweep executing ``jobs``."""
+               resume: bool = False,
+               submitter: str = DEFAULT_SUBMITTER,
+               weight: float = 1.0) -> Sweep:
+        """Create (or attach to) the sweep executing ``jobs``.
+
+        ``submitter``/``weight`` feed the fair-share ledger: jobs first
+        enqueued by this submission are attributed to ``submitter``,
+        and a ``fair-share`` policy shares worker slots across
+        submitters in proportion to their weights.
+        """
+        share = self.submitters.setdefault(submitter, _SubmitterShare())
+        share.weight = weight
+        share.sweeps += 1
         hashes = [job.content_hash() for job in jobs]
         sweep_id = run_id or derive_run_id(hashes)
         existing = self.sweeps.get(sweep_id)
@@ -235,13 +330,13 @@ class SweepServer:
             jobs, hashes=hashes, cache=self.cache, journal=journal,
             resume=journal is not None, retries=self.retries,
             progress=None,
-        ))
+        ), submitter=submitter)
         # Bind the progress stream after construction so the callback
         # can close over the sweep object itself.
         sweep.ledger.progress = lambda ev: self._emit_progress(sweep, ev)
         self.sweeps[sweep_id] = sweep
         sweep.emit({"event": "sweep-start", "sweep": sweep_id,
-                    "total": len(jobs)})
+                    "total": len(jobs), "submitter": submitter})
 
         pending = sweep.ledger.open()
         for idx in pending:
@@ -257,7 +352,16 @@ class SweepServer:
         if st is None or st.status == "failed":
             # Fresh hash — or a hash that failed terminally for an
             # earlier sweep: a new submission buys a fresh budget.
-            st = _JobState(job=job, cost=float(job.cost_estimate()))
+            self._enqueue_seq += 1
+            share = self.submitters.setdefault(
+                sweep.submitter, _SubmitterShare()
+            )
+            share.submitted += 1
+            st = _JobState(
+                job=job, cost=float(job.cost_estimate()),
+                submitter=sweep.submitter, weight=share.weight,
+                seq=self._enqueue_seq,
+            )
             self.jobs[job_hash] = st
         if st.status == "done":
             # Dedup hit against a batch resolved earlier this session
@@ -306,6 +410,9 @@ class SweepServer:
         st.payload = payload
         st.worker = None
         st.deadline = None
+        share = self.submitters.get(st.submitter)
+        if share is not None:
+            share.completed += 1
         waiters, st.waiters = st.waiters, []
         for sweep, idx in waiters:
             sweep.ledger.complete(idx, payload)
@@ -336,6 +443,9 @@ class SweepServer:
             return
         st.status = "failed"
         st.error = error
+        share = self.submitters.get(st.submitter)
+        if share is not None:
+            share.failed += 1
         waiters, st.waiters = st.waiters, []
         for sweep, _ in waiters:
             self._check_sweep(sweep)
@@ -350,8 +460,14 @@ class SweepServer:
             await self._dispatch_once()
 
     async def _dispatch_once(self) -> None:
-        queued = [(h, self.jobs[h].cost) for h in self.jobs
-                  if self.jobs[h].status == "queued"]
+        if self.state != "serving":
+            # Draining: in-flight jobs may finish, nothing new starts.
+            return
+        queued = [
+            QueueEntry(hash=h, cost=st.cost, submitter=st.submitter,
+                       weight=st.weight, seq=st.seq)
+            for h, st in self.jobs.items() if st.status == "queued"
+        ]
         if not queued or not self.workers:
             return
         for job_hash in self.policy.queue_order(queued):
@@ -438,6 +554,12 @@ class SweepServer:
         if self.workers.get(w.name) is w:
             del self.workers[w.name]
         w.writer.close()
+        if self.state == "drained":
+            # Drain already journalled every unresolved job as
+            # interrupted and closed the ledgers — a straggling
+            # disconnect must not write retry records to them.
+            w.in_flight.clear()
+            return
         for job_hash in list(w.in_flight):
             st = self.jobs.get(job_hash)
             if (st is not None and st.status == "dispatched"
@@ -494,6 +616,150 @@ class SweepServer:
             self._wake.set()
 
     # ------------------------------------------------------------------
+    # overload control: admission, fair-share accounting, drain
+    # ------------------------------------------------------------------
+    def unresolved_count(self) -> int:
+        """Jobs admitted but not yet resolved (queued + dispatched)."""
+        return sum(1 for st in self.jobs.values()
+                   if st.status in ("queued", "dispatched"))
+
+    def total_slots(self) -> int:
+        return sum(w.slots for w in self.workers.values())
+
+    def admission(self, incoming: int) -> tuple[str, int]:
+        """Admission decision for a submission adding ``incoming``
+        not-yet-resolved jobs.
+
+        Returns ``(verdict, retry_after)`` where verdict is
+        ``"admitted"`` (within the in-flight budget), ``"queued"``
+        (over budget but within the bounded backlog) or ``"rejected"``
+        (the backlog is full too — answer 429). ``retry_after`` is the
+        suggested client wait in whole seconds: the excess over budget
+        amortised across the fleet's slots, floored at 1 — coarse by
+        design, deterministic by construction.
+        """
+        unresolved = self.unresolved_count()
+        after = unresolved + incoming
+        if self.max_in_flight is None or after <= self.max_in_flight:
+            return "admitted", 0
+        excess = after - self.max_in_flight
+        retry_after = max(1, -(-excess // max(1, self.total_slots())))
+        if self.max_queue is not None and excess > self.max_queue:
+            return "rejected", retry_after
+        return "queued", retry_after
+
+    def submitter_shares(self) -> dict[str, dict[str, object]]:
+        """Per-submitter fair-share snapshot (the ``/v1/health``
+        payload): registry counters plus live queue occupancy."""
+        shares = {name: share.as_dict()
+                  for name, share in self.submitters.items()}
+        for st in self.jobs.values():
+            if st.status in ("queued", "dispatched"):
+                entry = shares.setdefault(
+                    st.submitter, _SubmitterShare().as_dict()
+                )
+                entry[st.status] = int(entry.get(st.status, 0)) + 1
+        for entry in shares.values():
+            entry.setdefault("queued", 0)
+            entry.setdefault("dispatched", 0)
+        return shares
+
+    def health(self) -> dict[str, object]:
+        """The ``GET /v1/health`` report."""
+        now = _monotonic()
+        queued = sum(1 for st in self.jobs.values()
+                     if st.status == "queued")
+        dispatched = sum(1 for st in self.jobs.values()
+                         if st.status == "dispatched")
+        return {
+            "state": self.state,
+            "queue": {
+                "queued": queued,
+                "dispatched": dispatched,
+                "unresolved": queued + dispatched,
+                "budget": self.max_in_flight,
+                "queue_bound": self.max_queue,
+            },
+            "submitters": self.submitter_shares(),
+            "workers": [
+                {"name": w.name, "slots": w.slots, "pid": w.pid,
+                 "in_flight": len(w.in_flight),
+                 "beat_age": round(now - w.last_beat, 3),
+                 "alive": now - w.last_beat <= self.heartbeat_grace}
+                for w in self.workers.values()
+            ],
+            "sweeps": {
+                "total": len(self.sweeps),
+                "running": sum(1 for s in self.sweeps.values()
+                               if not s.finished and not s.interrupted),
+                "interrupted": sum(1 for s in self.sweeps.values()
+                                   if s.interrupted),
+            },
+            "policy": self.policy.name,
+        }
+
+    async def drain(self, grace: float | None = None) -> dict:
+        """Gracefully wind the server down under load.
+
+        Stops admitting submissions (they answer 503), stops
+        dispatching queued jobs, gives already-dispatched jobs
+        ``grace`` seconds (default ``drain_grace``) to finish — their
+        results journal as ``done`` exactly as in normal operation —
+        then journals every still-unresolved job as ``interrupted``,
+        ends all event streams, and sends every worker the ``shutdown``
+        frame. Because the journal is the replication log, a restarted
+        server given the same submissions replays all completed points
+        with zero re-simulation and executes only the remainder.
+
+        Idempotent: a second call returns the summary immediately.
+        """
+        if self.state == "drained":
+            return {"state": self.state, "interrupted": 0, "finished": 0}
+        self.state = "draining"
+        grace = self.drain_grace if grace is None else grace
+        # noqa[RPR010] on the clock reads: the grace deadline is
+        # operational wall-clock (how long an operator waits), never
+        # simulation state — results are journalled, not timed.
+        deadline = _monotonic() + grace  # repro: noqa[RPR010] — drain grace is operational time
+        finished = 0
+        while _monotonic() < deadline:  # repro: noqa[RPR010] — drain grace is operational time
+            if not any(st.status == "dispatched"
+                       for st in self.jobs.values()):
+                break
+            await asyncio.sleep(_TICK_SECONDS)
+
+        interrupted = 0
+        for st in self.jobs.values():
+            if st.status not in ("queued", "dispatched"):
+                finished += 1
+                continue
+            interrupted += 1
+            for sweep, idx in st.waiters:
+                sweep.ledger.interrupt(idx, st.attempt or None)
+        for sweep in self.sweeps.values():
+            if sweep.finished:
+                continue
+            sweep.interrupted = True
+            sweep.emit({"event": "sweep-interrupted",
+                        "sweep": sweep.sweep_id,
+                        "completed": sweep.ledger.report.completed,
+                        "total": sweep.ledger.report.total})
+            sweep.end_streams()
+            # No run-end record: that absence is how a resubmission
+            # knows the journal is an incomplete run to resume.
+            sweep.ledger.close()
+        for w in list(self.workers.values()):
+            try:
+                await send_frame(w.writer, {"type": "shutdown"})
+            except (ConnectionError, OSError):  # repro: noqa[RPR007]
+                pass  # worker already gone; drain proceeds
+            w.writer.close()
+        self.workers.clear()
+        self.state = "drained"
+        return {"state": self.state, "interrupted": interrupted,
+                "finished": finished}
+
+    # ------------------------------------------------------------------
     # HTTP surface
     # ------------------------------------------------------------------
     async def _handle_conn(self, reader: asyncio.StreamReader,
@@ -507,6 +773,13 @@ class SweepServer:
             if req is None:
                 return
             if req.method == "POST" and req.path == "/v1/workers/attach":
+                if self.state != "serving":
+                    # A draining server wants fewer workers, not more:
+                    # upgrade, then immediately wave the worker off so
+                    # its supervisor backs off instead of flapping.
+                    await start_stream(writer)
+                    await send_frame(writer, {"type": "shutdown"})
+                    return
                 # Upgrade: this connection becomes the worker link and
                 # outlives the handler's request/response framing.
                 await start_stream(writer)
@@ -523,7 +796,13 @@ class SweepServer:
         if req.method == "POST" and req.path == "/v1/sweeps":
             await self._post_sweeps(req, writer)
             return
+        if req.method == "POST" and req.path == "/v1/admin/drain":
+            await self._post_drain(req, writer)
+            return
         if req.method == "GET":
+            if req.path == "/v1/health":
+                await self._get_health(writer)
+                return
             if req.path == "/v1/healthz":
                 await send_json(writer, 200, {
                     "ok": True,
@@ -566,6 +845,13 @@ class SweepServer:
 
     async def _post_sweeps(self, req: Request,
                            writer: asyncio.StreamWriter) -> None:
+        if self.state != "serving":
+            await send_error(
+                writer, 503, f"server is {self.state}; not accepting "
+                "submissions — resubmit to the replacement server",
+                headers={"Retry-After": "1"}, state=self.state,
+            )
+            return
         try:
             payload = req.json()
         except ProtocolError as exc:
@@ -582,16 +868,64 @@ class SweepServer:
         if not jobs:
             await send_error(writer, 400, "submission contains no jobs")
             return
+        submitter = str(payload.get("submitter", DEFAULT_SUBMITTER))
+        try:
+            weight = float(payload.get("weight", 1.0))
+        except (TypeError, ValueError):
+            await send_error(writer, 400, "weight must be a number")
+            return
+        # Admission: count the jobs this submission genuinely adds to
+        # the unresolved set (deduped/cached hashes ride along free).
+        incoming = len({
+            h for h in (j.content_hash() for j in jobs)
+            if h not in self.jobs or self.jobs[h].status == "failed"
+        })
+        verdict, retry_after = self.admission(incoming)
+        if verdict == "rejected":
+            await send_error(
+                writer, 429, "job budget and queue are full",
+                headers={"Retry-After": str(retry_after)},
+                retry_after=retry_after,
+                unresolved=self.unresolved_count(),
+                incoming=incoming,
+                budget=self.max_in_flight, queue_bound=self.max_queue,
+            )
+            return
         attached = run_id in self.sweeps if run_id is not None else (
             derive_run_id([j.content_hash() for j in jobs]) in self.sweeps
         )
-        sweep = self.submit(jobs, run_id=run_id, resume=resume)
+        sweep = self.submit(jobs, run_id=run_id, resume=resume,
+                            submitter=submitter, weight=weight)
         await send_json(writer, 202, {
             "sweep": sweep.sweep_id,
             "total": sweep.ledger.report.total,
             "status": "done" if sweep.finished else "running",
             "attached": attached,
+            "admission": verdict,
+            "retry_after": retry_after,
         })
+
+    async def _post_drain(self, req: Request,
+                          writer: asyncio.StreamWriter) -> None:
+        grace: float | None = None
+        if req.body:
+            try:
+                payload = req.json()
+            except ProtocolError as exc:
+                await send_error(writer, 400, str(exc))
+                return
+            if isinstance(payload, dict) and "grace" in payload:
+                try:
+                    grace = float(payload["grace"])
+                except (TypeError, ValueError):
+                    await send_error(writer, 400,
+                                     "grace must be a number")
+                    return
+        summary = await self.drain(grace)
+        await send_json(writer, 200, summary)
+
+    async def _get_health(self, writer: asyncio.StreamWriter) -> None:
+        await send_json(writer, 200, self.health())
 
     def _jobs_from_submission(
         self, payload: dict
@@ -641,7 +975,9 @@ class SweepServer:
         await start_stream(writer)
         for event in list(sweep.events):
             await send_frame(writer, event)
-        if not sweep.finished:
+        # An interrupted sweep will never emit again on this server:
+        # end after the replay instead of parking the subscriber.
+        if not sweep.finished and not sweep.interrupted:
             queue: asyncio.Queue = asyncio.Queue()
             sweep.queues.append(queue)
             try:

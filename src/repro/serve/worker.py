@@ -99,6 +99,12 @@ class WorkerAgent:
             if chaos.should_hang(job_hash, attempt):
                 self._hung = True
                 await asyncio.sleep(chaos.hang_seconds)
+            slow = chaos.slow_delay(job_hash, attempt)
+            if slow > 0.0:
+                # Heartbeat-but-slow: beats keep flowing (self._hung
+                # stays False), so the server's liveness watchdog must
+                # not fire — only the per-job deadline may reap this.
+                await asyncio.sleep(slow)
             if kill_point == "early":
                 os._exit(CHAOS_EXIT_CODE)
         try:

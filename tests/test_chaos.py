@@ -114,6 +114,16 @@ class TestChaosConfigParse:
         assert not ChaosConfig().enabled
         assert not ChaosConfig(seed=9).enabled
         assert ChaosConfig(dup_p=0.1).enabled
+        assert ChaosConfig(net_refuse_p=0.1).enabled
+        assert ChaosConfig(slow_p=0.1).enabled
+
+    def test_overload_knob_aliases(self):
+        c = ChaosConfig.parse(
+            "net_refuse=0.4,slow=0.2,slow_seconds=0.1,seed=2")
+        assert c.net_refuse_p == 0.4
+        assert c.slow_p == 0.2
+        assert c.slow_seconds == 0.1
+        assert c.enabled
 
     def test_from_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_CHAOS", raising=False)
@@ -190,6 +200,30 @@ class TestChaosDeterminism:
         c = ChaosConfig(seed=0, corrupt_p=1.0)
         faults = {c.cache_fault(h) for h in self.HASHES}
         assert faults == {"truncate", "flip"}
+
+    def test_refuse_gated_deterministic_and_keyed_by_attempt(self):
+        assert not ChaosConfig(seed=0).should_refuse(
+            "client-connect", "/v1/sweeps", 0)
+        c = ChaosConfig(seed=3, net_refuse_p=1.0)
+        assert all(c.should_refuse("client-connect", h, 0)
+                   for h in self.HASHES)
+        mid = ChaosConfig(seed=1, net_refuse_p=0.5)
+        again = ChaosConfig(seed=1, net_refuse_p=0.5)
+        assert [mid.should_refuse("s", h, 0) for h in self.HASHES] == \
+               [again.should_refuse("s", h, 0) for h in self.HASHES]
+        assert any(
+            mid.should_refuse("s", h, 0) != mid.should_refuse("s", h, 1)
+            for h in self.HASHES
+        )
+
+    def test_slow_delay_gated_and_exact(self):
+        assert ChaosConfig(seed=0).slow_delay("h", 0) == 0.0
+        c = ChaosConfig(seed=3, slow_p=1.0, slow_seconds=0.125)
+        assert all(c.slow_delay(h, 0) == 0.125 for h in self.HASHES)
+        mid = ChaosConfig(seed=1, slow_p=0.5, slow_seconds=0.125)
+        delays = [mid.slow_delay(h, 0) for h in self.HASHES]
+        assert set(delays) == {0.0, 0.125}
+        assert delays == [mid.slow_delay(h, 0) for h in self.HASHES]
 
 
 # ----------------------------------------------------------------------
@@ -711,4 +745,20 @@ class TestDegradedPaths:
         assert time.monotonic() - start < 30
         assert all("worker hung (no heartbeat for 0.5s)" in f.message
                    for f in excinfo.value.failures)
+        assert live_worker_count() == 0
+
+    def test_slow_worker_beats_through_watchdog(self):
+        # The slow fault delays the job while the heartbeat thread
+        # keeps ticking: a watchdog tighter than the delay must NOT
+        # fire (only a per-job timeout may reap slow-but-alive work),
+        # and the delayed results stay byte-identical.
+        jobs = [tiny_job(seed=s) for s in (0, 1)]
+        golden, _ = execute_jobs(jobs, ExecutorConfig(jobs=1))
+        chaos = ChaosConfig(seed=0, slow_p=1.0, slow_seconds=0.8)
+        results, report = execute_jobs(
+            jobs, ExecutorConfig(jobs=2, retries=0, watchdog=0.4,
+                                 chaos=chaos))
+        assert canon(results) == canon(golden)
+        assert report.retried == 0
+        assert report.failed == 0
         assert live_worker_count() == 0

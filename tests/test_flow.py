@@ -505,6 +505,45 @@ class TestRPR013:
         })
         assert violations == []
 
+    def test_admin_and_health_handlers_are_seeded(self, tmp_path):
+        # The overload surface (drain/health admin handlers) is async
+        # like every other handler: blocking work in its closure stalls
+        # heartbeats exactly the same way and must be flagged.
+        violations = flow(tmp_path, {
+            "serve/app.py": """\
+                import time
+
+
+                async def _post_drain(writer):
+                    return _settle()
+
+
+                async def _get_health(writer):
+                    return {"state": "serving"}
+
+
+                def _settle():
+                    time.sleep(0.5)
+                """,
+        })
+        assert codes(violations) == ["RPR013"]
+        assert "_post_drain -> _settle" in violations[0].message
+
+    def test_async_sleep_inside_drain_loop_is_fine(self, tmp_path):
+        # The real drain grace loop awaits asyncio.sleep — cooperative,
+        # not blocking — so the closure stays clean.
+        violations = flow(tmp_path, {
+            "serve/app.py": """\
+                import asyncio
+
+
+                async def drain(grace):
+                    while True:
+                        await asyncio.sleep(0.05)
+                """,
+        })
+        assert violations == []
+
     def test_journal_and_cache_modules_exempt(self, tmp_path):
         # The fsync'd journal/cache appends are the service's designated
         # synchronous core; reaching them from a handler is sanctioned.

@@ -9,12 +9,30 @@ ring's stability property (hypothesis), per-policy result identity,
 protocol framing and checksum handling, network-chaos determinism,
 cross-submission dedup, journal-backed server restart/resume, and the
 ``ExecutorConfig(server=...)`` routing of existing sweeps.
+
+The overload surface gets the same treatment: fair-share DRR ordering
+(weights, starvation-freedom, deficit banking), admission control
+(budget, bounded queue, 429/Retry-After, 503 while drained), client
+backoff + circuit breaker semantics against a scripted fake server,
+resilient event-stream reconnection, SIGTERM == drain for the real
+CLI process, submission before the server is even listening, breaker
+-triggered local fallback, and an acceptance run that drains an
+overloaded 3-submitter chaos cluster mid-sweep, restarts it, and
+proves byte-identity plus zero re-simulation plus no starvation.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -32,11 +50,18 @@ from repro.exec.cache import encode_job_result
 from repro.exec.jobs import JobResult
 from repro.serve import (
     POLICIES,
+    CircuitBreaker,
+    CircuitOpenError,
+    FairSharePolicy,
     HashRingPolicy,
     LeastLoadedPolicy,
     LJFPolicy,
     LocalCluster,
+    QueueEntry,
+    RetryPolicy,
     ServerError,
+    SweepClient,
+    SweepInterrupted,
     SweepServer,
     WorkerView,
     make_policy,
@@ -162,7 +187,8 @@ class TestRingAssign:
 # ----------------------------------------------------------------------
 class TestPolicies:
     def test_registry_and_factory(self):
-        assert set(POLICIES) == {"hash-ring", "least-loaded", "ljf"}
+        assert set(POLICIES) == {"hash-ring", "least-loaded", "ljf",
+                                 "fair-share"}
         assert isinstance(make_policy("hash-ring"), HashRingPolicy)
         with pytest.raises(ValueError, match="unknown allocation policy"):
             make_policy("round-robin")
@@ -190,10 +216,81 @@ class TestPolicies:
         ) is None
 
     def test_queue_orders(self):
-        pending = [("aa", 1.0), ("bb", 3.0), ("cc", 2.0)]
+        pending = [QueueEntry("aa", 1.0, seq=1),
+                   QueueEntry("bb", 3.0, seq=2),
+                   QueueEntry("cc", 2.0, seq=3)]
         assert LeastLoadedPolicy().queue_order(pending) == \
                ["aa", "bb", "cc"]
         assert LJFPolicy().queue_order(pending) == ["bb", "cc", "aa"]
+
+
+class TestFairShare:
+    @staticmethod
+    def _entries(spec):
+        """[(submitter, n, weight)] -> interleaved-by-arrival entries
+        where each submitter's jobs arrive as one burst."""
+        entries, seq = [], 0
+        for submitter, n, weight in spec:
+            for i in range(n):
+                seq += 1
+                entries.append(QueueEntry(
+                    f"{submitter}{i}", 1.0, submitter=submitter,
+                    weight=weight, seq=seq,
+                ))
+        return entries
+
+    def test_round_robin_interleaves_equal_weights(self):
+        # "big" burst-submits 4 jobs before "small" submits 2; FIFO
+        # would starve small behind the burst, DRR alternates.
+        pending = self._entries([("big", 4, 1.0), ("small", 2, 1.0)])
+        order = FairSharePolicy().queue_order(pending)
+        assert order == ["big0", "small0", "big1", "small1",
+                         "big2", "big3"]
+
+    def test_weights_set_the_share_ratio(self):
+        pending = self._entries([("big", 6, 2.0), ("small", 3, 1.0)])
+        order = FairSharePolicy().queue_order(pending)
+        # weight 2 earns two unit jobs per round vs one.
+        assert order == ["big0", "big1", "small0", "big2", "big3",
+                         "small1", "big4", "big5", "small2"]
+
+    def test_zero_weight_deprioritised_but_not_starved(self):
+        pending = self._entries([("free", 2, 0.0), ("paid", 2, 1.0)])
+        order = FairSharePolicy().queue_order(pending)
+        assert sorted(order) == sorted(e.hash for e in pending)
+        assert order.index("free0") < len(order)  # emitted at all
+        assert order.index("paid0") < order.index("free0")
+
+    def test_is_a_permutation_with_heterogeneous_costs(self):
+        entries, seq = [], 0
+        for submitter, costs in (("a", [5.0, 1.0, 3.0]),
+                                 ("b", [2.0, 2.0]),
+                                 ("c", [9.0])):
+            for i, cost in enumerate(costs):
+                seq += 1
+                entries.append(QueueEntry(
+                    f"{submitter}{i}", cost, submitter=submitter,
+                    weight=1.0, seq=seq,
+                ))
+        order = FairSharePolicy().queue_order(entries)
+        assert sorted(order) == sorted(e.hash for e in entries)
+
+    def test_deficit_resets_when_submitter_goes_idle(self):
+        policy = FairSharePolicy()
+        policy.queue_order(self._entries([("a", 3, 1.0),
+                                          ("b", 1, 1.0)]))
+        # Fully drained queues forfeit any banked credit...
+        assert all(d == 0.0 for d in policy._deficit.values())
+        # ...and a fresh call with only "b" pending prunes "a".
+        order = policy.queue_order(self._entries([("b", 2, 1.0)]))
+        assert order == ["b0", "b1"]
+        assert "a" not in policy._deficit
+
+    def test_placement_is_inherited_least_loaded(self):
+        policy = FairSharePolicy()
+        workers = [WorkerView("b", slots=4, in_flight=1),
+                   WorkerView("a", slots=4, in_flight=0)]
+        assert policy.pick_worker("h", 1.0, workers) == "a"
 
 
 # ----------------------------------------------------------------------
@@ -513,3 +610,512 @@ def test_server_restart_resumes_from_journal(tmp_path, golden):
     assert canon(again) == golden
     assert report.simulated == 0
     assert report.resumed == len(jobs)
+
+
+# ----------------------------------------------------------------------
+# overload machinery: backoff, circuit breaker, client retry semantics
+# ----------------------------------------------------------------------
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestRetryPolicy:
+    def test_deterministic_and_bounded(self):
+        rp = RetryPolicy(seed=7)
+        delays = [rp.delay("http://h:1", a) for a in range(6)]
+        assert delays == [rp.delay("http://h:1", a) for a in range(6)]
+        for a, d in enumerate(delays):
+            raw = min(rp.cap, rp.base * 2 ** a)
+            assert raw * (1 - rp.jitter) <= d <= raw
+
+    def test_different_seeds_desynchronise(self):
+        a = [RetryPolicy(seed=1).delay("s", n) for n in range(4)]
+        b = [RetryPolicy(seed=2).delay("s", n) for n in range(4)]
+        assert a != b
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        t = [0.0]
+        cb = CircuitBreaker(threshold=2, cooldown=5.0,
+                            clock=lambda: t[0])
+        assert cb.state == "closed" and cb.allow()
+        cb.record_failure()
+        assert cb.state == "closed"
+        cb.record_failure()
+        assert cb.state == "open" and not cb.allow()
+        t[0] = 5.0
+        assert cb.state == "half-open"
+        assert cb.allow()       # the single probe
+        assert not cb.allow()   # no second concurrent probe
+        cb.record_failure()     # failed probe: fresh cooldown
+        assert cb.state == "open" and not cb.allow()
+        t[0] = 10.0
+        assert cb.allow()
+        cb.record_success()     # probe succeeded: closed, counters reset
+        assert cb.state == "closed" and cb.allow()
+
+    def test_force_open(self):
+        cb = CircuitBreaker(cooldown=1000.0)
+        cb.force_open()
+        assert cb.state == "open" and not cb.allow()
+
+
+class TestSweepClientRequests:
+    """SweepClient._call semantics against a scripted fake server."""
+
+    @staticmethod
+    def _client(monkeypatch, script, **kw):
+        import repro.serve.client as client_mod
+
+        calls = []
+
+        def fake_request(server, method, path, payload=None,
+                         timeout=None):
+            action = script[min(len(calls), len(script) - 1)]
+            calls.append((method, path, payload))
+            if isinstance(action, Exception):
+                raise action
+            return action
+
+        monkeypatch.setattr(client_mod, "_request", fake_request)
+        sleeps = []
+        client = SweepClient("http://127.0.0.1:1", sleep=sleeps.append,
+                             **kw)
+        return client, calls, sleeps
+
+    def test_retries_connect_failures_then_succeeds(self, monkeypatch):
+        script = [ServerError("refused"), ServerError("refused"),
+                  {"ok": True}]
+        client, calls, sleeps = self._client(monkeypatch, script)
+        assert client.health() == {"ok": True}
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+        assert client.breaker.state == "closed"  # success resets
+
+    def test_retry_after_floor_respected(self, monkeypatch):
+        script = [ServerError("busy", status=429, retry_after=3.0),
+                  {"ok": True}]
+        client, _, sleeps = self._client(monkeypatch, script)
+        client.health()
+        assert sleeps[0] >= 3.0
+
+    def test_semantic_errors_never_retried(self, monkeypatch):
+        script = [ServerError("no such sweep", status=404)]
+        client, calls, _ = self._client(monkeypatch, script)
+        with pytest.raises(ServerError, match="no such sweep"):
+            client.health()
+        assert len(calls) == 1
+
+    def test_breaker_opens_then_fails_fast(self, monkeypatch):
+        script = [ServerError("refused")]
+        client, calls, _ = self._client(
+            monkeypatch, script,
+            breaker=CircuitBreaker(threshold=3, cooldown=60.0))
+        with pytest.raises(CircuitOpenError):
+            client.health()
+        assert len(calls) == 3  # stopped at the threshold
+        with pytest.raises(CircuitOpenError):
+            client.health()
+        assert len(calls) == 3  # open circuit: no network traffic
+
+    def test_submissions_carry_submitter_identity(self, monkeypatch):
+        script = [{"sweep": "x"}]
+        client, calls, _ = self._client(monkeypatch, script,
+                                        submitter="alice", weight=2.5)
+        client.submit({"jobs": []})
+        payload = calls[0][2]
+        assert payload["submitter"] == "alice"
+        assert payload["weight"] == 2.5
+
+    def test_chaos_refusal_applies_before_the_wire(self, monkeypatch):
+        chaos = ChaosConfig(seed=3, net_refuse_p=1.0)
+        client, calls, _ = self._client(
+            monkeypatch, [{"ok": True}], chaos=chaos,
+            breaker=CircuitBreaker(threshold=1000))
+        with pytest.raises(ServerError, match="chaos"):
+            client.health()
+        assert calls == []  # every attempt refused client-side
+
+
+class TestStreamRecovery:
+    def test_mid_stream_drop_resumes_exactly_once(self, monkeypatch):
+        import repro.serve.client as client_mod
+
+        history = [{"event": "sweep-start", "n": 0},
+                   {"event": "simulated", "n": 1},
+                   {"event": "simulated", "n": 2},
+                   {"event": "sweep-end", "n": 3}]
+        connects = []
+
+        def fake_stream(server, sweep_id, timeout=None):
+            connects.append(1)
+            if len(connects) == 1:
+                yield history[0]
+                yield history[1]
+                raise ServerError("connection dropped mid-stream")
+            # Reconnect: the server replays the full history.
+            yield from history
+
+        monkeypatch.setattr(client_mod, "stream_events", fake_stream)
+        client = SweepClient("http://127.0.0.1:1",
+                             sleep=lambda s: None)
+        assert list(client.stream_events("abc")) == history
+        assert len(connects) == 2
+
+
+# ----------------------------------------------------------------------
+# admission control: budget, bounded queue, 429, health
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_within_budget_is_admitted(self, tmp_path):
+        with LocalCluster(workers=0, journal_dir=tmp_path / "journal",
+                          max_in_flight=8, max_queue=4) as cluster:
+            reply = submit(cluster.url, {"jobs": [
+                j.fingerprint_payload() for j in grid_jobs()]})
+            assert reply["admission"] == "admitted"
+            assert reply["retry_after"] == 0
+
+    def test_over_budget_queued_then_429(self, tmp_path):
+        jobs_a = grid_jobs()
+        with LocalCluster(workers=0, journal_dir=tmp_path / "journal",
+                          max_in_flight=2, max_queue=4) as cluster:
+            reply = submit(cluster.url, {"jobs": [
+                j.fingerprint_payload() for j in jobs_a]})
+            # 4 jobs against a budget of 2: accepted but queued.
+            assert reply["admission"] == "queued"
+            assert reply["retry_after"] >= 1
+
+            # 4 more new jobs: excess 6 > max_queue 4 -> 429.
+            keyed = jobs_for_grid(
+                TWO_THREAD_MIXES[:2], CFG, ("traditional", "2op_ooo"),
+                (8,), INSNS, 1,
+            )
+            with pytest.raises(ServerError) as excinfo:
+                submit(cluster.url, {"jobs": [
+                    j.fingerprint_payload() for _, j in keyed]})
+            err = excinfo.value
+            assert err.status == 429
+            assert err.retry_after is not None and err.retry_after >= 1
+            assert "429" in str(err)
+
+            # Resubmitting the SAME grid adds no new jobs: it attaches
+            # to the in-flight sweep instead of tripping the limiter.
+            again = submit(cluster.url, {"jobs": [
+                j.fingerprint_payload() for j in jobs_a]})
+            assert again["attached"] is True
+            assert again["admission"] == "queued"
+
+    def test_health_reports_queue_and_shares(self, tmp_path):
+        with LocalCluster(workers=0, journal_dir=tmp_path / "journal",
+                          max_in_flight=2, max_queue=10) as cluster:
+            client = SweepClient(cluster.url, submitter="alice",
+                                 weight=2.0)
+            client.submit({"jobs": [
+                j.fingerprint_payload() for j in grid_jobs()]})
+            h = client.health()
+            assert h["state"] == "serving"
+            assert h["queue"]["queued"] == len(grid_jobs())
+            assert h["queue"]["unresolved"] == len(grid_jobs())
+            assert h["queue"]["budget"] == 2
+            assert h["queue"]["queue_bound"] == 10
+            alice = h["submitters"]["alice"]
+            assert alice["weight"] == 2.0
+            assert alice["submitted"] == len(grid_jobs())
+            assert alice["queued"] == len(grid_jobs())
+            assert h["workers"] == []
+            assert h["sweeps"]["running"] == 1
+
+    def test_drained_server_rejects_with_503(self, tmp_path, golden):
+        jobs = grid_jobs()
+        journal_dir = tmp_path / "journal"
+        with LocalCluster(workers=0,
+                          journal_dir=journal_dir) as cluster:
+            client = SweepClient(cluster.url)
+            client.submit({"jobs": [
+                j.fingerprint_payload() for j in jobs]})
+            summary = client.drain(0.2)  # POST /v1/admin/drain
+            assert summary["state"] == "drained"
+            assert summary["interrupted"] == len(jobs)
+            assert client.health()["state"] == "drained"
+            with pytest.raises(ServerError) as excinfo:
+                submit(cluster.url, {"jobs": [
+                    jobs[0].fingerprint_payload()]})
+            assert excinfo.value.status == 503
+
+        # The journalled remainder resumes on a replacement server.
+        with LocalCluster(workers=2, journal_dir=journal_dir,
+                          retries=2, timeout=60.0) as cluster:
+            results, report = execute_remote(jobs, cluster.url)
+        assert canon(results) == golden
+        assert report.simulated == len(jobs)  # nothing ran pre-drain
+
+
+# ----------------------------------------------------------------------
+# graceful drain: in-flight work finishes, the rest journals, restart
+# resumes with zero re-simulation
+# ----------------------------------------------------------------------
+def test_drain_midsweep_then_restart_zero_resimulation(tmp_path):
+    keyed = jobs_for_grid(
+        TWO_THREAD_MIXES[:2], CFG, ("traditional", "2op_ooo"), (8, 16),
+        3000, 0,
+    )
+    jobs = [j for _, j in keyed]
+    golden_results, _ = execute_jobs(jobs, ExecutorConfig(jobs=1))
+    cache_dir, journal_dir = tmp_path / "cache", tmp_path / "journal"
+
+    with LocalCluster(workers=1, cache_dir=cache_dir,
+                      journal_dir=journal_dir,
+                      drain_grace=0.5) as cluster:
+        client = SweepClient(cluster.url, submitter="alice")
+        reply = client.submit({"jobs": [
+            j.fingerprint_payload() for j in jobs]})
+        total = reply["total"]
+
+        # A second client blocked on the sweep must surface the drain
+        # as SweepInterrupted rather than hanging on a dead stream.
+        watcher_saw: list[type] = []
+
+        def watch() -> None:
+            try:
+                SweepClient(cluster.url, submitter="alice").execute(jobs)
+            except SweepInterrupted:
+                watcher_saw.append(SweepInterrupted)
+
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            share = client.health()["submitters"].get("alice", {})
+            if share.get("completed", 0) >= 1:
+                break
+            time.sleep(0.05)
+        summary = cluster.drain()
+        completed_a = summary["finished"]
+        assert summary["state"] == "drained"
+        assert completed_a >= 1
+        watcher.join(timeout=30.0)
+        assert watcher_saw == [SweepInterrupted]
+
+    with LocalCluster(workers=2, cache_dir=cache_dir,
+                      journal_dir=journal_dir,
+                      retries=2, timeout=60.0) as cluster:
+        results, report = SweepClient(cluster.url,
+                                      submitter="alice").execute(jobs)
+    assert canon(results) == canon(golden_results)
+    assert report.failed == 0
+    # The replication-log invariant: work done before the drain is
+    # replayed, never re-run.
+    assert report.resumed == completed_a
+    assert report.simulated == total - completed_a
+
+
+# ----------------------------------------------------------------------
+# SIGTERM == drain: the operational contract of `repro.serve server`
+# ----------------------------------------------------------------------
+class TestSigtermDrain:
+    def test_sigterm_drains_journals_and_exits_zero(self, tmp_path):
+        port = _free_port()
+        journal_dir = tmp_path / "journal"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "server",
+             "--port", str(port), "--journal-dir", str(journal_dir),
+             "--drain-grace", "0.5"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            client = SweepClient(
+                f"http://127.0.0.1:{port}",
+                retry=RetryPolicy(attempts=40, base=0.1, cap=0.25),
+                breaker=CircuitBreaker(threshold=10_000))
+            client.health()  # retries until the server is listening
+            reply = client.submit({"jobs": [
+                j.fingerprint_payload() for j in grid_jobs()]})
+            assert reply["total"] == len(grid_jobs())
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "drained:" in out
+        # No workers attached, so every job journals as interrupted and
+        # the run never reaches a run-end summary.
+        journalled = "".join(
+            p.read_text() for p in journal_dir.rglob("*") if p.is_file())
+        assert '"interrupted"' in journalled
+        assert "run-end" not in journalled
+
+
+# ----------------------------------------------------------------------
+# client reconnect: submission survives the server not being up yet
+# ----------------------------------------------------------------------
+def test_submit_before_server_listens_reconnects(tmp_path, golden):
+    jobs = grid_jobs()
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    outcome: dict = {}
+
+    def submit_early() -> None:
+        client = SweepClient(
+            url, submitter="early",
+            retry=RetryPolicy(attempts=60, base=0.1, cap=0.25, seed=4),
+            breaker=CircuitBreaker(threshold=10_000))
+        outcome["results"], outcome["report"] = client.execute(jobs)
+
+    t = threading.Thread(target=submit_early, daemon=True)
+    t.start()
+    time.sleep(0.3)  # let the first attempts hit the closed port
+    cluster = LocalCluster(workers=2, cache_dir=tmp_path / "cache",
+                           retries=2, timeout=60.0)
+    cluster.server.port = port
+    with cluster:
+        t.join(timeout=120.0)
+    assert not t.is_alive()
+    assert canon(outcome["results"]) == golden
+    assert outcome["report"].failed == 0
+
+
+# ----------------------------------------------------------------------
+# degraded mode: breaker exhaustion falls back to local execution
+# ----------------------------------------------------------------------
+class TestLocalFallback:
+    def test_dead_server_falls_back_byte_identically(self, tmp_path,
+                                                     golden):
+        jobs = grid_jobs()
+        url = f"http://127.0.0.1:{_free_port()}"  # nobody listening
+        cfg = ExecutorConfig(jobs=2, server=url,
+                             allow_local_fallback=True,
+                             cache_dir=tmp_path / "cache")
+        results, report = execute_jobs(jobs, cfg)
+        assert canon(results) == golden
+        assert report.simulated == len(jobs)
+        assert report.failed == 0
+
+    def test_without_the_flag_the_breaker_error_propagates(self):
+        url = f"http://127.0.0.1:{_free_port()}"
+        cfg = ExecutorConfig(jobs=2, server=url)
+        with pytest.raises(CircuitOpenError):
+            execute_jobs(grid_jobs(), cfg)
+
+
+# ----------------------------------------------------------------------
+# the overload acceptance run: 3 submitters, refuse/slow/kill chaos,
+# fair-share arbitration, drain mid-sweep, restart, byte-identity,
+# zero re-simulation, no starvation
+# ----------------------------------------------------------------------
+def _overload_chaos(hashes) -> ChaosConfig:
+    """Seed-search so the run provably exercises every new fault path:
+    at least one worker kill, one slow worker, and one client-side
+    connection refusal."""
+    for seed in range(300):
+        c = ChaosConfig(seed=seed, kill_p=0.25, net_refuse_p=0.4,
+                        slow_p=0.4, slow_seconds=0.05)
+        kills = sum(c.should_kill(h, 0) for h in hashes)
+        slows = sum(c.slow_delay(h, 0) > 0 for h in hashes)
+        refusals = sum(
+            c.should_refuse("client-connect", path, a)
+            for path in ("/v1/sweeps", "/v1/health")
+            for a in range(4)
+        )
+        if kills >= 1 and slows >= 1 and refusals >= 1:
+            return c
+    raise AssertionError("no seed injects enough faults; widen the search")
+
+
+def test_overloaded_chaotic_drain_restart_acceptance(tmp_path):
+    grids = []
+    for seed in range(3):
+        keyed = jobs_for_grid(
+            TWO_THREAD_MIXES[:2], CFG, ("traditional", "2op_ooo"),
+            (8,), 2500, seed,
+        )
+        grids.append([j for _, j in keyed])
+    goldens = []
+    for jobs in grids:
+        results, _ = execute_jobs(jobs, ExecutorConfig(jobs=2))
+        goldens.append(canon(results))
+    all_hashes = [j.content_hash() for jobs in grids for j in jobs]
+    assert len(set(all_hashes)) == len(all_hashes)
+    chaos = _overload_chaos(all_hashes)
+    cache_dir, journal_dir = tmp_path / "cache", tmp_path / "journal"
+
+    interrupted_submitters: list[str] = []
+
+    def submitter(url: str, name: str, jobs) -> None:
+        client = SweepClient(
+            url, submitter=name, chaos=chaos,
+            retry=RetryPolicy(attempts=12, base=0.05, cap=0.5,
+                              seed=hash(name) % 1000),
+            breaker=CircuitBreaker(threshold=10_000))
+        try:
+            client.execute(jobs)
+        except SweepInterrupted:
+            interrupted_submitters.append(name)
+
+    names = [f"s{i}" for i in range(3)]
+    with LocalCluster(workers=2, cache_dir=cache_dir,
+                      journal_dir=journal_dir, policy="fair-share",
+                      max_in_flight=4, max_queue=100,
+                      retries=8, timeout=5.0, heartbeat_grace=2.0,
+                      chaos=chaos, respawn=True,
+                      drain_grace=0.5) as cluster:
+        threads = [
+            threading.Thread(target=submitter,
+                             args=(cluster.url, name, jobs),
+                             daemon=True)
+            for name, jobs in zip(names, grids)
+        ]
+        for t in threads:
+            t.start()
+        # A chaos-free observer polls health until every submitter has
+        # made progress, then pulls the plug mid-sweep.
+        observer = SweepClient(cluster.url,
+                               breaker=CircuitBreaker(threshold=10_000))
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            shares = observer.health()["submitters"]
+            done = [shares.get(n, {}).get("completed", 0) for n in names]
+            if all(d >= 1 for d in done):
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError(f"no fair progress before drain: "
+                                 f"{shares}")
+        summary = cluster.drain()
+        # Jobs in flight at drain time may finish inside the grace
+        # window, so the authoritative per-submitter counts are the
+        # post-drain ones.
+        shares_a = {n: observer.health()["submitters"]
+                    .get(n, {}).get("completed", 0) for n in names}
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+    assert summary["state"] == "drained"
+    # Fair-share under the 4-slot budget: every submitter finished at
+    # least one job before the drain — nobody starved.
+    assert all(v >= 1 for v in shares_a.values())
+
+    # Restart over the same cache+journal, fault-free: each submitter
+    # resubmits and completes byte-identically with zero re-simulation
+    # of the pre-drain work.
+    total_simulated = 0
+    with LocalCluster(workers=2, cache_dir=cache_dir,
+                      journal_dir=journal_dir,
+                      retries=2, timeout=60.0) as cluster:
+        for name, jobs, gold in zip(names, grids, goldens):
+            client = SweepClient(cluster.url, submitter=name)
+            results, report = client.execute(jobs)
+            assert canon(results) == gold
+            assert report.failed == 0
+            total_simulated += report.simulated
+    # Everything completed before the drain is replayed, never re-run.
+    assert total_simulated + sum(shares_a.values()) == len(all_hashes)
