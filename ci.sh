@@ -32,6 +32,13 @@ echo "== flow: repro.analysis (whole-program rules RPR009-RPR013) =="
 # pinned in results/flow_baseline.json (picked up automatically).
 python -m repro.analysis flow src/repro
 
+echo "== races: repro.analysis (static concurrency rules RPR014-RPR017) =="
+# Context-aware pass over the same call graph: lockset consistency,
+# lock-order cycles, fork safety, await atomicity in the serve/exec
+# runtime. The committed baseline (results/races_baseline.json) is
+# empty — any finding here is a new concurrency hazard.
+python -m repro.analysis races src/repro
+
 echo "== mutation smoke (pinned 25-mutant sample, 2 workers) =="
 # Measures the detection power of everything above: a deterministic
 # sample of microarchitecture-aware mutants injected into the pipeline

@@ -14,6 +14,12 @@ deadlock-avoidance buffer guarantees forward progress):
   call graph and checks the *interprocedural* rules: transitive hot
   closure (RPR009), determinism taint (RPR010), stage access contracts
   (RPR011) and worker fork/pickle safety (RPR012);
+* :mod:`repro.analysis.races` — a whole-program *concurrency* pass
+  (``python -m repro.analysis races src/repro``) layered on the same
+  call graph: it infers execution contexts (main/thread/async/
+  handler/fork), computes interprocedural locksets, and checks
+  Eraser-style lockset consistency (RPR014), lock-order cycles
+  (RPR015), fork safety (RPR016) and await-atomicity (RPR017);
 * :mod:`repro.analysis.contracts` — the ``@stage_contract`` declarations
   naming which architectural state each pipeline stage may read and
   write, consumed by the flow pass statically and the sanitizer
@@ -37,6 +43,7 @@ from repro.analysis.contracts import (
 )
 from repro.analysis.flow import FLOW_RULES, flow_paths
 from repro.analysis.lint import LINT_RULES, Violation, lint_paths, lint_source
+from repro.analysis.races import RACES_RULES, races_paths
 from repro.analysis.sanitizer import (
     INVARIANTS,
     PipelineSanitizer,
@@ -46,10 +53,12 @@ from repro.analysis.sanitizer import (
 __all__ = [
     "LINT_RULES",
     "FLOW_RULES",
+    "RACES_RULES",
     "Violation",
     "lint_paths",
     "lint_source",
     "flow_paths",
+    "races_paths",
     "STAGE_CONTRACTS",
     "StageContract",
     "stage_contract",

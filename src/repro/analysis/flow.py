@@ -123,6 +123,7 @@ FLOW_RULES: dict[str, str] = {
 #: sleep as _sleep`` is still caught.
 _BLOCKING_CALLS = frozenset({
     "time.sleep",
+    "select.select",
     "socket.socket", "socket.create_connection", "socket.socketpair",
     "subprocess.run", "subprocess.call", "subprocess.check_call",
     "subprocess.check_output", "subprocess.Popen",
@@ -309,16 +310,21 @@ class Project:
                 # body: the instance-attribute callables (fetch policy,
                 # cached stage methods) resolve through these.
                 for sub in ast.walk(stmt):
-                    if not isinstance(sub, ast.Assign):
+                    if isinstance(sub, ast.Assign):
+                        targets, value = sub.targets, sub.value
+                    elif (isinstance(sub, ast.AnnAssign)
+                            and sub.value is not None):
+                        targets, value = [sub.target], sub.value
+                    else:
                         continue
-                    for tgt in sub.targets:
+                    for tgt in targets:
                         if (
                             isinstance(tgt, ast.Attribute)
                             and isinstance(tgt.value, ast.Name)
                             and tgt.value.id == "self"
                         ):
                             aliases.setdefault(tgt.attr, []).append(
-                                sub.value
+                                value
                             )
 
     # -- lookups --------------------------------------------------------

@@ -361,6 +361,7 @@ def _static_findings(pkg_root: Path, target: Path, source: str,
     replaced by ``source`` in memory. Paths repo-root-relative."""
     from repro.analysis.flow import flow_paths
     from repro.analysis.lint import discover_declared_counters, lint_source
+    from repro.analysis.races import races_paths
 
     declared = discover_declared_counters([pkg_root])
     triples: set[tuple[str, str, str]] = set()
@@ -369,6 +370,9 @@ def _static_findings(pkg_root: Path, target: Path, source: str,
         triples.add((rel, v.code, v.message))
     overrides = {str(target.resolve()): source}
     for v in flow_paths([pkg_root], overrides=overrides):
+        vrel = Path(v.path).resolve().relative_to(repo_root).as_posix()
+        triples.add((vrel, v.code, v.message))
+    for v in races_paths([pkg_root], overrides=overrides):
         vrel = Path(v.path).resolve().relative_to(repo_root).as_posix()
         triples.add((vrel, v.code, v.message))
     return [list(t) for t in sorted(triples)]

@@ -23,6 +23,10 @@ minmax-swap     swap ``min()`` and ``max()`` — credit clamping and
                 width-limiting picks
 const-nudge     nudge an integer literal inside a comparison by +1
                 — latencies, widths, sizes
+lock-drop       delete a ``with <lock>:`` guard (``if True:`` keeps
+                the body) — unguarded shared state, the RPR014 class
+lock-swap       swap two lock acquisitions in one ``with a, b:`` —
+                inverted lock order, the RPR015 deadlock class
 ==============  ========================================================
 
 The module is deliberately dumb and pure: :func:`proposals_for` says
@@ -55,6 +59,8 @@ OPERATORS: dict[str, str] = {
     "mod-shift": "rotate a modulo by one (a % b → (a + 1) % b)",
     "minmax-swap": "swap min() and max()",
     "const-nudge": "nudge an integer literal in a comparison by +1",
+    "lock-drop": "delete a lock guard (with lock: body → if True: body)",
+    "lock-swap": "swap two lock acquisitions (with a, b: → with b, a:)",
 }
 
 _CMP_BOUNDARY: dict[type, type] = {
@@ -71,6 +77,22 @@ _COUNTER_HINT = re.compile(
     r"(stall|cycle|count|insn|fetch|commit|flush|bubble|issue|"
     r"dispatch|rename|retire|drain|miss|hit|slot|occupanc)"
 )
+
+#: Lock-named context managers (``with self._lock:``, ``with
+#: _LIVE_LOCK:``) — the concurrency-fault sites. Kept in sync with the
+#: races engine's name heuristic.
+_LOCKISH_HINT = re.compile(r"(^|_)(lock|mutex)(_|$)", re.IGNORECASE)
+
+
+def _lockish_item(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    else:
+        return False
+    return bool(_LOCKISH_HINT.search(name))
 
 
 def _span(node: ast.AST) -> tuple[int, int, int, int]:
@@ -122,6 +144,13 @@ def proposals_for(node: ast.AST) -> list[tuple[str, int]]:
             and node.func.id in ("min", "max") and node.args
             and not node.keywords):
         out.append(("minmax-swap", 0))
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        locky = [i for i, item in enumerate(node.items)
+                 if _lockish_item(item)]
+        if locky:
+            out.append(("lock-drop", 0))
+        if len(locky) >= 2:
+            out.append(("lock-swap", 0))
     return out
 
 
@@ -152,6 +181,19 @@ def build_mutation(node: ast.AST, op: str, slot: int) -> ast.AST:
         )
     elif op == "minmax-swap":
         new.func.id = "max" if new.func.id == "min" else "min"
+    elif op == "lock-drop":
+        # ``if True:`` keeps the body a single indented block (one
+        # located node, unparses cleanly) while erasing the guard.
+        return ast.fix_missing_locations(ast.copy_location(
+            ast.If(test=ast.Constant(True), body=new.body, orelse=[]),
+            node,
+        ))
+    elif op == "lock-swap":
+        first, second = [i for i, item in enumerate(new.items)
+                         if _lockish_item(item)][:2]
+        new.items[first], new.items[second] = (
+            new.items[second], new.items[first]
+        )
     else:
         raise ValueError(f"unknown mutation operator {op!r}")
     return ast.fix_missing_locations(new)

@@ -105,6 +105,11 @@ _DEFAULT_WATCHDOG_SECONDS = 30.0
 #: child can outlive the harness.
 _LIVE_WORKERS: set = set()
 
+#: Guards _LIVE_WORKERS: the pool mutates it per spawn/reap while the
+#: atexit sweep (a distinct execution context — it can interleave with
+#: a pool unwinding after an interrupt) snapshots and drains it.
+_LIVE_LOCK = threading.Lock()
+
 
 @dataclass(frozen=True, slots=True)
 class ExecutorConfig:
@@ -234,7 +239,9 @@ def fork_available() -> bool:
 def live_worker_count() -> int:
     """Workers currently alive (diagnostics/tests; 0 after any clean
     or interrupted :func:`execute_jobs` return)."""
-    return sum(1 for proc in _LIVE_WORKERS if proc.is_alive())
+    with _LIVE_LOCK:
+        procs = list(_LIVE_WORKERS)
+    return sum(1 for proc in procs if proc.is_alive())
 
 
 def execute_jobs(jobs: Sequence[SimJob],
@@ -425,12 +432,15 @@ def _reap(proc) -> None:
             proc.join()
     else:
         proc.join()
-    _LIVE_WORKERS.discard(proc)
+    with _LIVE_LOCK:
+        _LIVE_WORKERS.discard(proc)
 
 
 def _reap_orphans() -> None:
     """Interpreter-exit sweep: no worker may outlive the harness."""
-    for proc in list(_LIVE_WORKERS):
+    with _LIVE_LOCK:
+        procs = list(_LIVE_WORKERS)
+    for proc in procs:
         _reap(proc)
 
 
@@ -475,7 +485,8 @@ def _run_in_processes(pending, cfg, ledger: JobLedger) -> None:
             daemon=True,
         )
         proc.start()
-        _LIVE_WORKERS.add(proc)
+        with _LIVE_LOCK:
+            _LIVE_WORKERS.add(proc)
         send.close()  # parent keeps only the read ends
         if hb_send is not None:
             hb_send.close()
@@ -494,7 +505,8 @@ def _run_in_processes(pending, cfg, ledger: JobLedger) -> None:
             _reap(slot.proc)
         else:
             slot.proc.join()
-            _LIVE_WORKERS.discard(slot.proc)
+            with _LIVE_LOCK:
+                _LIVE_WORKERS.discard(slot.proc)
         running.remove(slot)
 
     def _finish(slot: _Running, payload: JobResult | None,

@@ -96,19 +96,28 @@ class LocalCluster:
         self._spawned = 0
         self._stop = threading.Event()
         self._supervisor: threading.Thread | None = None
+        #: Guards _procs/_spawn_info/_spawned: the respawn supervisor
+        #: thread and the harness thread (__enter__/_teardown) both
+        #: mutate them.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _spawn_worker(self, backoff: float = _RESPAWN_POLL) -> None:
         ctx = multiprocessing.get_context("fork")
-        self._spawned += 1
+        with self._lock:
+            self._spawned += 1
+            name = f"w{self._spawned}"
+        # Forked outside the lock: the child must never inherit it in
+        # the locked state (RPR016).
         proc = ctx.Process(
             target=_worker_process,
-            args=(self.url, self.slots, f"w{self._spawned}", self.chaos),
+            args=(self.url, self.slots, name, self.chaos),
             daemon=True,
         )
         proc.start()
-        self._procs.append(proc)
-        self._spawn_info[proc] = (_monotonic(), backoff)
+        with self._lock:
+            self._procs.append(proc)
+            self._spawn_info[proc] = (_monotonic(), backoff)
 
     def _supervise(self) -> None:
         """Respawn dead workers so chaos kills cause churn, not
@@ -118,13 +127,16 @@ class LocalCluster:
         pending: list[tuple[float, float]] = []  # (due time, backoff)
         while not self._stop.wait(_RESPAWN_POLL):
             now = _monotonic()
-            for proc in list(self._procs):
+            with self._lock:
+                procs = list(self._procs)
+            for proc in procs:
                 if proc.is_alive():
                     continue
                 proc.join()
-                self._procs.remove(proc)
-                born, backoff = self._spawn_info.pop(
-                    proc, (now, _RESPAWN_POLL))
+                with self._lock:
+                    self._procs.remove(proc)
+                    born, backoff = self._spawn_info.pop(
+                        proc, (now, _RESPAWN_POLL))
                 if now - born >= _RESPAWN_HEALTHY_AFTER:
                     # Lived long enough to count as healthy: the
                     # replacement starts from the base backoff.
@@ -194,7 +206,9 @@ class LocalCluster:
         if self._supervisor is not None:
             self._supervisor.join(timeout=5.0)
             self._supervisor = None
-        for proc in self._procs:
+        with self._lock:
+            procs = list(self._procs)
+        for proc in procs:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=2.0)
@@ -203,8 +217,9 @@ class LocalCluster:
                     proc.join()
             else:
                 proc.join()
-        self._procs.clear()
-        self._spawn_info.clear()
+        with self._lock:
+            self._procs.clear()
+            self._spawn_info.clear()
         if self._loop is not None:
             asyncio.run_coroutine_threadsafe(
                 self.server.stop(), self._loop

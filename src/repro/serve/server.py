@@ -257,7 +257,7 @@ class SweepServer:
         self._server = await asyncio.start_server(
             self._handle_conn, self.host, self.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self.port = self._server.sockets[0].getsockname()[1]  # repro: noqa[RPR017] — rebinds port 0 to the OS-assigned port once, before any handler can run
         self._tasks = [
             asyncio.ensure_future(self._dispatch_loop()),
             asyncio.ensure_future(self._tick_loop()),
@@ -281,10 +281,13 @@ class SweepServer:
                 pass  # already gone; nothing to shut down
             w.writer.close()
         self.workers.clear()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Claim-then-close: the attribute is cleared *before* the
+        # await, so a re-entrant stop() sees None instead of closing
+        # the same server twice across the suspension point.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for sweep in self.sweeps.values():
             if not sweep.finished:
                 # In-flight ledger: the fsync'd journal already holds
@@ -755,7 +758,7 @@ class SweepServer:
                 pass  # worker already gone; drain proceeds
             w.writer.close()
         self.workers.clear()
-        self.state = "drained"
+        self.state = "drained"  # repro: noqa[RPR017] — drain() is the only writer of state after start; concurrent drains converge on the same value
         return {"state": self.state, "interrupted": interrupted,
                 "finished": finished}
 

@@ -470,6 +470,45 @@ class TestRPR013:
         })
         assert violations == []
 
+    def test_socket_create_connection_seed_fires(self, tmp_path):
+        violations = flow(tmp_path, {
+            "serve/app.py": """\
+                import socket
+
+
+                async def handler():
+                    return socket.create_connection(("localhost", 80))
+                """,
+        })
+        assert codes(violations) == ["RPR013"]
+        assert "socket.create_connection" in violations[0].message
+
+    def test_select_select_seed_fires(self, tmp_path):
+        violations = flow(tmp_path, {
+            "serve/app.py": """\
+                import select
+
+
+                async def handler(rd):
+                    return select.select([rd], [], [], 0.5)
+                """,
+        })
+        assert codes(violations) == ["RPR013"]
+        assert "select.select" in violations[0].message
+
+    def test_subprocess_run_seed_fires(self, tmp_path):
+        violations = flow(tmp_path, {
+            "serve/app.py": """\
+                import subprocess
+
+
+                async def handler():
+                    return subprocess.run(["true"], check=True)
+                """,
+        })
+        assert codes(violations) == ["RPR013"]
+        assert "subprocess.run" in violations[0].message
+
     def test_run_in_executor_is_the_escape_hatch(self, tmp_path):
         # Callables merely passed to run_in_executor create no call
         # edge: thread-offloaded blocking work is structurally outside

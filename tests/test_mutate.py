@@ -38,11 +38,13 @@ PIPELINE = REPO_ROOT / "src" / "repro" / "pipeline"
 SNIPPET = """
 def issue(self, width):
     picked = 0
-    for slot in self.slots:
-        if picked < width:
-            picked += 1
-    if len(self.q) >= 8:
-        self.stats.iq_full_stalls += 1
+    with self._lock:
+        for slot in self.slots:
+            if picked < width:
+                picked += 1
+    with self._iq_lock, self._rob_lock:
+        if len(self.q) >= 8:
+            self.stats.iq_full_stalls += 1
     head = (self.head + 1) % len(self.slots)
     return min(picked, width), head
 """
@@ -56,7 +58,8 @@ def _sites():
 def test_operator_enumeration_covers_the_fault_classes():
     ops = {s.op for s in _sites()}
     assert {"cmp-boundary", "cmp-swap", "const-nudge", "stat-drop",
-            "stat-double", "mod-shift", "minmax-swap"} <= ops
+            "stat-double", "mod-shift", "minmax-swap", "lock-drop",
+            "lock-swap"} <= ops
     assert ops <= set(OPERATORS)
 
 
@@ -250,3 +253,90 @@ def test_committed_mutation_baseline_matches_the_current_site_universe():
     # surviving mutant is always explicitly allowlisted.
     assert set(str(s["id"]) for s in baseline["survivors"]) \
         <= set(baseline["allowlist"])
+
+
+# ----------------------------------------------------------------------
+# concurrency operators × the races layer
+# ----------------------------------------------------------------------
+def _lock_sites(rel: str) -> list[dict[str, object]]:
+    """Every lock-drop/lock-swap site in one shipped module, by span."""
+    tree = ast.parse((REPO_ROOT / rel).read_text(encoding="utf-8"))
+    out: list[dict[str, object]] = []
+    for node in ast.walk(tree):
+        for op, slot in proposals_for(node):
+            if op in ("lock-drop", "lock-swap"):
+                out.append({
+                    "id": f"{rel}:{node.lineno}:{op}",
+                    "path": rel,
+                    "op": op,
+                    "slot": slot,
+                    "span": [node.lineno, node.col_offset,
+                             node.end_lineno, node.end_col_offset],
+                })
+    out.sort(key=lambda s: (s["span"], s["op"]))
+    return out
+
+
+class TestConcurrencyOperators:
+    SCOPE = [REPO_ROOT / "src" / "repro" / "serve",
+             REPO_ROOT / "src" / "repro" / "exec"]
+
+    def test_lock_guard_mutants_are_killed_by_the_races_layer(self):
+        """Pinned 5-site smoke: deleting any shipped lock guard must
+        light up the static concurrency pass."""
+        from repro.analysis.races import races_paths
+
+        pool_sites = _lock_sites("src/repro/exec/pool.py")
+        cluster_sites = _lock_sites("src/repro/serve/cluster.py")
+        assert len(pool_sites) + len(cluster_sites) >= 5
+        pinned = pool_sites[:3] + cluster_sites[:2]
+        assert races_paths(self.SCOPE) == []
+        for spec in pinned:
+            path = REPO_ROOT / str(spec["path"])
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            mutated = ast.unparse(apply_to_module(tree, spec))
+            found = races_paths(
+                self.SCOPE, overrides={str(path.resolve()): mutated})
+            assert any(v.code in ("RPR014", "RPR015", "RPR016")
+                       for v in found), spec
+
+    def test_lock_swap_mutant_creates_a_lock_order_cycle(self, tmp_path):
+        from repro.analysis.races import races_paths
+
+        source = (
+            "import threading\n"
+            "\n"
+            "class Pair:\n"
+            "    def __init__(self):\n"
+            "        self.lock_a = threading.Lock()\n"
+            "        self.lock_b = threading.Lock()\n"
+            "\n"
+            "    def one(self):\n"
+            "        with self.lock_a, self.lock_b:\n"
+            "            pass\n"
+            "\n"
+            "    def two(self):\n"
+            "        with self.lock_a, self.lock_b:\n"
+            "            pass\n"
+        )
+        proj = tmp_path / "proj"
+        proj.mkdir()
+        path = proj / "pair.py"
+        path.write_text(source, encoding="utf-8")
+        tree = ast.parse(source)
+        swaps = []
+        for node in ast.walk(tree):
+            for op, slot in proposals_for(node):
+                if op == "lock-swap":
+                    swaps.append({
+                        "id": "swap", "path": "pair.py", "op": op,
+                        "slot": slot,
+                        "span": [node.lineno, node.col_offset,
+                                 node.end_lineno, node.end_col_offset],
+                    })
+        assert len(swaps) == 2
+        assert races_paths([proj]) == []
+        mutated = ast.unparse(apply_to_module(ast.parse(source), swaps[0]))
+        found = races_paths([proj],
+                            overrides={str(path.resolve()): mutated})
+        assert any(v.code == "RPR015" for v in found)
